@@ -1,0 +1,279 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section VI), plus the ablations. The simulated coprocessor's results are
+// deterministic clock-cycle counts, reported as custom metrics
+// ("gc-clock-cycles", "speedup", "empty-%", ...); Go's wall-clock ns/op for
+// those benchmarks measures only the simulator itself. The software baseline
+// collectors (BenchmarkBaseline*) are real parallel collectors, so for them
+// ns/op is the measurement.
+//
+// Mapping to the paper:
+//
+//	BenchmarkFig5      — Figure 5, speedup vs. cores per benchmark
+//	BenchmarkFig6      — Figure 6, ditto with +20 cycles memory latency
+//	BenchmarkTab1      — Table I, empty-work-list fraction
+//	BenchmarkTab2      — Table II, stall breakdown at 16 cores
+//	BenchmarkFIFO      — ablation A1, header FIFO capacity (cup)
+//	BenchmarkMarkOpt   — ablation A2, unlocked mark-read (javac)
+//	BenchmarkBandwidth — ablation A3, memory bandwidth (db)
+//	BenchmarkBaseline  — ablation A4, software-parallel collectors
+package hwgc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchSeed keeps every benchmark deterministic.
+const benchSeed = 42
+
+// runSim builds the workload and collects once per iteration, reporting the
+// simulated clock cycles of the last run.
+func runSim(b *testing.B, bench string, cfg Config) Stats {
+	b.Helper()
+	var st Stats
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h, err := BuildWorkload(bench, 1, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		st, err = Collect(h, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(st.Cycles), "gc-clock-cycles")
+	return st
+}
+
+// benchScaling implements Fig. 5 and Fig. 6: per benchmark, per core count,
+// report simulated cycles and the speedup over the 1-core run.
+func benchScaling(b *testing.B, base Config) {
+	for _, bench := range Workloads() {
+		b.Run(bench, func(b *testing.B) {
+			baseCycles := map[string]int64{}
+			for _, cores := range PaperCoreCounts {
+				b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
+					cfg := base
+					cfg.Cores = cores
+					st := runSim(b, bench, cfg)
+					if cores == 1 {
+						baseCycles[bench] = st.Cycles
+					}
+					if c1, ok := baseCycles[bench]; ok && st.Cycles > 0 {
+						b.ReportMetric(float64(c1)/float64(st.Cycles), "speedup")
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5: GC speedup for 1..16 cores with the
+// prototype's memory parameters.
+func BenchmarkFig5(b *testing.B) { benchScaling(b, Config{}) }
+
+// BenchmarkFig6 regenerates Figure 6: the same sweep with an artificial 20
+// clock cycles added to every memory access — scalability improves because
+// more stalled cores are needed to exhaust the memory bandwidth.
+func BenchmarkFig6(b *testing.B) { benchScaling(b, Config{ExtraMemLatency: 20}) }
+
+// BenchmarkTab1 regenerates Table I: the fraction of clock cycles during
+// which the work list is empty.
+func BenchmarkTab1(b *testing.B) {
+	for _, bench := range Workloads() {
+		b.Run(bench, func(b *testing.B) {
+			for _, cores := range PaperCoreCounts {
+				b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
+					st := runSim(b, bench, Config{Cores: cores})
+					b.ReportMetric(100*st.EmptyWorklistFraction(), "empty-%")
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkTab2 regenerates Table II: the per-cause stall breakdown of a
+// 16-core collection, as mean stall cycles per core.
+func BenchmarkTab2(b *testing.B) {
+	for _, bench := range Workloads() {
+		b.Run(bench, func(b *testing.B) {
+			st := runSim(b, bench, Config{Cores: 16})
+			m := st.Mean()
+			b.ReportMetric(float64(m.ScanLockStall), "scan-lock-stall")
+			b.ReportMetric(float64(m.FreeLockStall), "free-lock-stall")
+			b.ReportMetric(float64(m.HeaderLockStall), "header-lock-stall")
+			b.ReportMetric(float64(m.BodyLoadStall), "body-load-stall")
+			b.ReportMetric(float64(m.BodyStoreStall), "body-store-stall")
+			b.ReportMetric(float64(m.HeaderLoadStall), "header-load-stall")
+			b.ReportMetric(float64(m.HeaderStoreStall), "header-store-stall")
+		})
+	}
+}
+
+// BenchmarkFIFO is ablation A1: cup at 16 cores across header-FIFO
+// capacities. Overflow forces gray-header loads inside the scan critical
+// section; the scan-lock stall metric shows the effect.
+func BenchmarkFIFO(b *testing.B) {
+	for _, capacity := range []int{1024, 8192, 32768, 131072} {
+		b.Run(fmt.Sprintf("capacity=%d", capacity), func(b *testing.B) {
+			st := runSim(b, "cup", Config{Cores: 16, FIFOCapacity: capacity})
+			b.ReportMetric(float64(st.Mean().ScanLockStall), "scan-lock-stall")
+			b.ReportMetric(float64(st.FIFODrops), "fifo-drops")
+		})
+	}
+}
+
+// BenchmarkMarkOpt is ablation A2: javac at 16 cores with and without the
+// unlocked mark-read optimization the paper proposes in Section VI-B.
+func BenchmarkMarkOpt(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		b.Run(fmt.Sprintf("opt=%v", on), func(b *testing.B) {
+			st := runSim(b, "javac", Config{Cores: 16, OptUnlockedMarkRead: on})
+			b.ReportMetric(float64(st.Mean().HeaderLockStall), "header-lock-stall")
+		})
+	}
+}
+
+// BenchmarkBandwidth is ablation A3: db's 16-core speedup as a function of
+// memory bandwidth (the second scalability limiter named in Section VII).
+func BenchmarkBandwidth(b *testing.B) {
+	for _, bw := range []int{2, 4, 6, 8, 12} {
+		b.Run(fmt.Sprintf("bw=%d", bw), func(b *testing.B) {
+			var c1 int64
+			for _, cores := range []int{1, 16} {
+				st := runSim(b, "db", Config{Cores: cores, MemBandwidth: bw})
+				if cores == 1 {
+					c1 = st.Cycles
+				} else {
+					b.ReportMetric(float64(c1)/float64(st.Cycles), "speedup16")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBaseline is ablation A4: the software-parallel collectors of the
+// paper's Section III survey, as real goroutine-parallel collectors. Here
+// ns/op is the true measurement; sync-ops/object and wasted words quantify
+// the trade-offs the paper discusses.
+func BenchmarkBaseline(b *testing.B) {
+	for _, name := range Baselines() {
+		b.Run(name, func(b *testing.B) {
+			for _, workers := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+					var res BaselineResult
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						h, err := BuildWorkload("db", 1, benchSeed)
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.StartTimer()
+						res, err = RunBaseline(name, h, workers)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					if res.LiveObjects > 0 {
+						b.ReportMetric(float64(res.Sync.Total())/float64(res.LiveObjects), "sync-ops/obj")
+						b.ReportMetric(float64(res.WastedWords), "wasted-words")
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkReference measures the untimed sequential reference collector —
+// the software specification every other collector is checked against.
+func BenchmarkReference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h, err := BuildWorkload("db", 1, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, _, err := CollectSequential(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput reports how fast the cycle-stepped simulator
+// itself runs (simulated clock cycles per second of wall time), for sizing
+// larger experiments.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h, err := BuildWorkload("javacc", 1, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		st, err := Collect(h, Config{Cores: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += st.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkStride is extension E1 (paper §VII): sub-object work distribution
+// on the blob workload, whose object-level parallelism is bounded by its
+// object count.
+func BenchmarkStride(b *testing.B) {
+	for _, stride := range []int{0, 64} {
+		b.Run(fmt.Sprintf("stride=%d", stride), func(b *testing.B) {
+			var c1 int64
+			for _, cores := range []int{1, 16} {
+				st := runSim(b, "blob", Config{Cores: cores, StrideWords: stride})
+				if cores == 1 {
+					c1 = st.Cycles
+				} else {
+					b.ReportMetric(float64(c1)/float64(st.Cycles), "speedup16")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHeaderCache is extension E2 (paper §VII): an on-chip header cache
+// absorbing repeated forwarding-pointer loads (javac's hub traffic).
+func BenchmarkHeaderCache(b *testing.B) {
+	for _, lines := range []int{0, 4096} {
+		b.Run(fmt.Sprintf("lines=%d", lines), func(b *testing.B) {
+			st := runSim(b, "javac", Config{Cores: 16, HeaderCacheLines: lines})
+			b.ReportMetric(float64(st.Mean().HeaderLoadStall), "header-load-stall")
+		})
+	}
+}
+
+// BenchmarkConcurrent is extension E3 (paper §V-B outlook): a concurrent
+// collection with a churning mutator on the coprocessor's mutator port.
+// The key metric is the worst single mutator operation latency — the
+// concurrent analogue of the stop-the-world pause.
+func BenchmarkConcurrent(b *testing.B) {
+	var ms MutatorStats
+	var st Stats
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h, err := BuildWorkload("jlisp", 1, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		driver := NewConcurrentChurn(h, benchSeed, 1<<40, 200)
+		b.StartTimer()
+		st, ms, err = CollectConcurrent(h, Config{Cores: 8}, driver, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(st.Cycles), "gc-clock-cycles")
+	b.ReportMetric(float64(ms.MaxOpLatency), "worst-mutator-op")
+	b.ReportMetric(float64(ms.Ops), "mutator-ops")
+}

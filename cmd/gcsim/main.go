@@ -1,0 +1,146 @@
+// Command gcsim runs a single garbage collection cycle of one benchmark
+// workload on the simulated multi-core GC coprocessor and prints the
+// clock-cycle statistics, optionally with a signal trace.
+//
+// Usage:
+//
+//	gcsim -bench javac -cores 16 [-scale 1] [-seed 42] [-latency 3]
+//	      [-extra-latency 0] [-bandwidth 6] [-fifo 32768] [-no-fifo]
+//	      [-markopt] [-verify] [-trace trace.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hwgc"
+	"hwgc/internal/stats"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "javac", "benchmark workload ("+strings.Join(hwgc.Workloads(), ", ")+")")
+		planFile  = flag.String("plan", "", "JSON plan file to collect instead of a named benchmark")
+		cores     = flag.Int("cores", 8, "number of GC coprocessor cores (1..64)")
+		scale     = flag.Int("scale", 1, "workload scale factor")
+		seed      = flag.Int64("seed", 42, "workload seed")
+		latency   = flag.Int("latency", 0, "memory latency in cycles (0 = default)")
+		extraLat  = flag.Int("extra-latency", 0, "artificial extra memory latency (paper Fig. 6 uses 20)")
+		bandwidth = flag.Int("bandwidth", 0, "memory requests accepted per cycle (0 = default)")
+		fifoCap   = flag.Int("fifo", 0, "header FIFO capacity (0 = default 32768)")
+		noFIFO    = flag.Bool("no-fifo", false, "disable the header FIFO")
+		markOpt   = flag.Bool("markopt", false, "enable the unlocked mark-read optimization (paper §VI-B)")
+		hdrCache  = flag.Int("hdr-cache", 0, "header cache lines (paper §VII extension; 0 = off)")
+		stride    = flag.Int("stride", 0, "stride words for sub-object work distribution (§VII extension; 0 = off)")
+		verify    = flag.Bool("verify", true, "verify the collection against the reference oracle")
+		traceOut  = flag.String("trace", "", "write a signal trace CSV to this file")
+		interval  = flag.Int64("trace-interval", 16, "cycles between trace samples")
+	)
+	flag.Parse()
+
+	cfg := hwgc.Config{
+		Cores:               *cores,
+		MemLatency:          *latency,
+		ExtraMemLatency:     *extraLat,
+		MemBandwidth:        *bandwidth,
+		FIFOCapacity:        *fifoCap,
+		DisableFIFO:         *noFIFO,
+		OptUnlockedMarkRead: *markOpt,
+		HeaderCacheLines:    *hdrCache,
+		StrideWords:         *stride,
+	}
+
+	if err := run(*bench, *planFile, *scale, *seed, cfg, *verify, *traceOut, *interval); err != nil {
+		fmt.Fprintln(os.Stderr, "gcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, planFile string, scale int, seed int64, cfg hwgc.Config, verify bool, traceOut string, interval int64) error {
+	var h *hwgc.Heap
+	var err error
+	if planFile != "" {
+		f, ferr := os.Open(planFile)
+		if ferr != nil {
+			return ferr
+		}
+		plan, perr := hwgc.ReadPlan(f)
+		f.Close()
+		if perr != nil {
+			return perr
+		}
+		h, err = plan.BuildHeap(2.0)
+		bench = planFile
+	} else {
+		h, err = hwgc.BuildWorkload(bench, scale, seed)
+	}
+	if err != nil {
+		return err
+	}
+
+	var before *hwgc.Graph
+	if verify {
+		if before, err = hwgc.Snapshot(h); err != nil {
+			return err
+		}
+	}
+
+	var mon *hwgc.Monitor
+	var st hwgc.Stats
+	if traceOut != "" {
+		mon = hwgc.NewMonitor(interval, 1<<20)
+		st, err = hwgc.CollectTraced(h, cfg, mon)
+	} else {
+		st, err = hwgc.Collect(h, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	if verify {
+		if err := hwgc.Verify(before, h); err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+		fmt.Println("verification: OK (logical graph preserved, perfectly compacted)")
+	}
+
+	sum := st.Sum()
+	mean := st.Mean()
+	fmt.Printf("benchmark            %s (scale %d, seed %d)\n", bench, scale, seed)
+	fmt.Printf("cores                %d\n", len(st.PerCore))
+	fmt.Printf("collection cycle     %d clock cycles\n", st.Cycles)
+	fmt.Printf("live                 %d objects, %d words\n", st.LiveObjects, st.LiveWords)
+	fmt.Printf("evacuated            %d objects, %d body words copied\n", sum.ObjectsEvacuated, sum.WordsCopied)
+	fmt.Printf("work list empty      %s of cycles\n", stats.Percent(st.EmptyWorklistCycles, st.Cycles))
+	fmt.Printf("header FIFO          %d hits, %d misses, %d drops, max depth %d\n",
+		sum.FIFOHits, sum.FIFOMisses, st.FIFODrops, st.FIFOMaxDepth)
+	fmt.Println()
+
+	t := stats.NewTable("Mean stall cycles per core (cf. paper Table II)", "cause", "cycles", "of total")
+	add := func(name string, v int64) { t.Add(name, fmt.Sprint(v), stats.Percent(v, st.Cycles)) }
+	add("scan-lock stall", mean.ScanLockStall)
+	add("free-lock stall", mean.FreeLockStall)
+	add("header-lock stall", mean.HeaderLockStall)
+	add("body load stall", mean.BodyLoadStall)
+	add("body store stall", mean.BodyStoreStall)
+	add("header load stall", mean.HeaderLoadStall)
+	add("header store stall", mean.HeaderStoreStall)
+	if err := t.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	if mon != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := mon.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("\ntrace: %d samples written to %s (peak work list %d words)\n",
+			mon.Len(), traceOut, mon.MaxGrayWords())
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hwgc"
+)
+
+func TestRunNamedBenchmark(t *testing.T) {
+	// Redirect stdout to keep the test log clean and to inspect the report.
+	out := captureStdout(t, func() {
+		if err := run("jlisp", "", 1, 42, hwgc.Config{Cores: 4}, true, "", 16); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, want := range []string{"verification: OK", "collection cycle", "scan-lock stall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.csv")
+	_ = captureStdout(t, func() {
+		if err := run("jlisp", "", 1, 42, hwgc.Config{Cores: 4}, false, trace, 8); err != nil {
+			t.Fatal(err)
+		}
+	})
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "cycle,scan,free") {
+		t.Fatalf("trace CSV malformed: %q", string(data[:40]))
+	}
+}
+
+func TestRunPlanFile(t *testing.T) {
+	dir := t.TempDir()
+	planFile := filepath.Join(dir, "plan.json")
+	plan := `{"Objs":[{"Pi":1,"Delta":1,"Ptrs":[1],"Data":[7]},{"Pi":0,"Delta":2,"Ptrs":[],"Data":[8,9]}],"Roots":[0]}`
+	if err := os.WriteFile(planFile, []byte(plan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() {
+		if err := run("", planFile, 1, 42, hwgc.Config{Cores: 2}, true, "", 16); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !strings.Contains(out, "2 objects") {
+		t.Errorf("plan collection output wrong:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("no-such-benchmark", "", 1, 42, hwgc.Config{Cores: 2}, false, "", 16); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run("", "/does/not/exist.json", 1, 42, hwgc.Config{Cores: 2}, false, "", 16); err == nil {
+		t.Error("missing plan file accepted")
+	}
+	if err := run("jlisp", "", 1, 42, hwgc.Config{Cores: -5}, false, "", 16); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- b.String()
+	}()
+	defer func() {
+		os.Stdout = old
+	}()
+	fn()
+	w.Close()
+	out := <-done
+	os.Stdout = old
+	return out
+}

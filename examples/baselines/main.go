@@ -1,0 +1,74 @@
+// Baselines: compare the software-parallel collectors from the paper's
+// related-work section (Section III) against each other and against the
+// hardware approach, on the same heap and object layout.
+//
+// The software collectors are real goroutine-parallel copying collectors;
+// the example reports their wall time, their synchronization operations per
+// object — the cost the paper's coprocessor reduces to zero in the
+// uncontended case — and their fragmentation (words lost to chunk/LAB
+// leftovers, a cost the fine-grained approach does not pay). The simulated
+// coprocessor's cycle counts are shown alongside for the same workload.
+//
+// Run with:
+//
+//	go run ./examples/baselines [-bench db] [-workers 8] [-scale 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"hwgc"
+)
+
+func main() {
+	bench := flag.String("bench", "db", "workload ("+strings.Join(hwgc.Workloads(), ", ")+")")
+	workers := flag.Int("workers", 8, "goroutines for the software collectors")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	flag.Parse()
+
+	fmt.Printf("workload %s (scale %d): software-parallel collectors, %d goroutines\n\n", *bench, *scale, *workers)
+	fmt.Printf("%-12s  %12s  %14s  %12s  %12s  %s\n",
+		"collector", "wall time", "sync ops/obj", "CAS retries", "wasted words", "strategy")
+
+	for _, name := range hwgc.Baselines() {
+		h, err := hwgc.BuildWorkload(*bench, *scale, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		before, err := hwgc.Snapshot(h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := hwgc.RunBaseline(name, h, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := hwgc.VerifyPreserved(before, h); err != nil {
+			log.Fatalf("%s corrupted the heap: %v", name, err)
+		}
+		desc, _ := hwgc.BaselineDescription(name)
+		fmt.Printf("%-12s  %12v  %14.1f  %12d  %12d  %s\n",
+			name, res.Elapsed.Round(10_000),
+			float64(res.Sync.Total())/float64(res.LiveObjects),
+			res.Sync.CASRetries, res.WastedWords, desc)
+	}
+
+	fmt.Printf("\nsimulated GC coprocessor on the same workload (hardware synchronization,\n")
+	fmt.Printf("object-granularity work distribution, zero waste):\n\n")
+	fmt.Printf("%8s  %14s  %10s\n", "cores", "clock cycles", "speedup")
+	results, err := hwgc.SweepCores(*bench, []int{1, 2, 4, 8, 16}, *scale, 42, hwgc.Config{}, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := results[0].Stats.Cycles
+	for _, r := range results {
+		fmt.Printf("%8d  %14d  %9.2fx\n", len(r.Stats.PerCore), r.Stats.Cycles,
+			float64(base)/float64(r.Stats.Cycles))
+	}
+	fmt.Println("\nthe software collectors pay ~5-10 atomic operations per object (or waste")
+	fmt.Println("space to avoid them); the coprocessor's synchronization block makes the")
+	fmt.Println("same per-object operations free in the uncontended case (paper §V-C).")
+}

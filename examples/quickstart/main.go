@@ -1,0 +1,80 @@
+// Quickstart: build a small object graph by hand, run one collection on the
+// simulated multi-core GC coprocessor, and print what happened.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hwgc"
+)
+
+func main() {
+	// A heap with two semispaces of 4096 words each. Word addresses are the
+	// pointer values; address 0 is nil.
+	h := hwgc.NewHeap(4096)
+
+	// Build a tiny object graph: a ring of three nodes, each with one
+	// pointer slot and two data words, plus an unreachable (garbage) node.
+	var nodes [3]hwgc.Addr
+	for i := range nodes {
+		a, err := h.Alloc(1, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[i] = a
+		h.SetData(a, 0, uint64(100+i))
+		h.SetData(a, 1, uint64(200+i))
+	}
+	for i := range nodes {
+		h.SetPtr(nodes[i], 0, nodes[(i+1)%len(nodes)])
+	}
+	if _, err := h.Alloc(0, 50); err != nil { // garbage: never referenced
+		log.Fatal(err)
+	}
+	h.AddRoot(nodes[0])
+
+	fmt.Printf("before GC: %d words used (including 52 words of garbage)\n", h.UsedWords())
+
+	// Snapshot the logical graph so we can verify the collection later.
+	before, err := hwgc.Snapshot(h)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Collect with a 4-core coprocessor.
+	st, err := hwgc.Collect(h, hwgc.Config{Cores: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The oracle checks the graph survived bit for bit and the new space is
+	// perfectly compacted.
+	if err := hwgc.Verify(before, h); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("after GC:  %d words used, %d live objects, collection took %d simulated clock cycles\n",
+		h.UsedWords(), st.LiveObjects, st.Cycles)
+	fmt.Printf("the ring survived: root -> %d -> %d -> %d (data %d %d)\n",
+		h.Root(0), h.Ptr(h.Root(0), 0), h.Ptr(h.Ptr(h.Root(0), 0), 0),
+		h.Data(h.Root(0), 0), h.Data(h.Root(0), 1))
+
+	// The mutator can keep allocating; the next collection happens
+	// automatically when the semispace fills (see the mutator API).
+	mu, err := hwgc.NewMutator(2048, hwgc.Config{Cores: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mu.Verify = true // oracle-check every automatic collection
+	rep, err := mu.RunChurn(hwgc.ChurnConfig{Ops: 4000, RootSlots: 8, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("churn: allocated %d objects, %d automatic collections, %d total GC cycles (all verified)\n",
+		rep.Allocated, rep.Collections, rep.GCCycles)
+}

@@ -1,0 +1,59 @@
+// Scaling: reproduce the paper's core experiment (Figure 5) on a workload of
+// your choice — how much faster does a collection cycle get as GC cores are
+// added, and where does it stop scaling?
+//
+// Run with:
+//
+//	go run ./examples/scaling [-bench javac] [-max-cores 32] [-extra-latency 0]
+//
+// Try -bench search to see a workload with no object-level parallelism, or
+// -extra-latency 20 to see the paper's counter-intuitive Figure 6 result:
+// slower memory scales better, because more stalled cores are needed to
+// exhaust the memory bandwidth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"hwgc"
+)
+
+func main() {
+	bench := flag.String("bench", "javac", "workload ("+strings.Join(hwgc.Workloads(), ", ")+")")
+	maxCores := flag.Int("max-cores", 32, "sweep core counts up to this power-of-two bound")
+	extraLat := flag.Int("extra-latency", 0, "artificial extra memory latency in cycles")
+	flag.Parse()
+
+	var coreCounts []int
+	for n := 1; n <= *maxCores; n *= 2 {
+		coreCounts = append(coreCounts, n)
+	}
+
+	cfg := hwgc.Config{ExtraMemLatency: *extraLat}
+	results, err := hwgc.SweepCores(*bench, coreCounts, 1, 42, cfg, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s: %d live objects, %d live words (every run oracle-verified)\n\n",
+		*bench, results[0].LiveObjects, results[0].LiveWords)
+	fmt.Printf("%6s  %12s  %8s  %s\n", "cores", "cycles", "speedup", "")
+	base := results[0].Stats.Cycles
+	for _, r := range results {
+		speedup := float64(base) / float64(r.Stats.Cycles)
+		bar := strings.Repeat("#", int(speedup*2+0.5))
+		fmt.Printf("%6d  %12d  %8.2f  %s\n", len(r.Stats.PerCore), r.Stats.Cycles, speedup, bar)
+	}
+
+	last := results[len(results)-1].Stats
+	sum := last.Sum()
+	fmt.Printf("\nat %d cores: work list empty %.2f%% of cycles, mean stalls/core:\n",
+		len(last.PerCore), 100*last.EmptyWorklistFraction())
+	mean := last.Mean()
+	fmt.Printf("  scan-lock %d, free-lock %d, header-lock %d, body-load %d, header-load %d\n",
+		mean.ScanLockStall, mean.FreeLockStall, mean.HeaderLockStall, mean.BodyLoadStall, mean.HeaderLoadStall)
+	fmt.Printf("  FIFO: %d hits / %d misses / %d drops\n", sum.FIFOHits, sum.FIFOMisses, last.FIFODrops)
+}

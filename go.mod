@@ -1,0 +1,3 @@
+module hwgc
+
+go 1.22

@@ -1,0 +1,253 @@
+package hwgc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the README flow end to end through the
+// public API only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	h := NewHeap(1024)
+	a, err := h.Alloc(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Alloc(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Alloc(0, 40); err != nil { // garbage
+		t.Fatal(err)
+	}
+	h.SetPtr(a, 0, b)
+	h.SetData(a, 0, 123)
+	h.SetData(b, 0, 456)
+	h.AddRoot(a)
+
+	before, err := Snapshot(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Collect(h, Config{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(before, h); err != nil {
+		t.Fatal(err)
+	}
+	if st.LiveObjects != 2 {
+		t.Fatalf("live = %d", st.LiveObjects)
+	}
+	if h.Data(h.Ptr(h.Root(0), 0), 0) != 456 {
+		t.Fatal("data lost through collection")
+	}
+}
+
+func TestCollectVerifiedRejectsNothingOnCleanRun(t *testing.T) {
+	h, err := BuildWorkload("jlisp", 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CollectVerified(h, Config{Cores: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadRegistryPublic(t *testing.T) {
+	names := Workloads()
+	if len(names) != 9 { // the paper's eight benchmarks plus the blob extension workload
+		t.Fatalf("workloads = %v", names)
+	}
+	for _, n := range names {
+		spec, err := Workload(n)
+		if err != nil || spec.Name != n {
+			t.Fatalf("workload %q: %v", n, err)
+		}
+	}
+	if _, err := Workload("bogus"); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+}
+
+func TestCollectTraced(t *testing.T) {
+	h, err := BuildWorkload("jlisp", 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := NewMonitor(8, 4096)
+	st, err := CollectTraced(h, Config{Cores: 4}, mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.Len() == 0 || st.Cycles == 0 {
+		t.Fatal("trace empty")
+	}
+	var sb strings.Builder
+	if err := mon.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "cycle,") {
+		t.Fatal("CSV malformed")
+	}
+}
+
+// TestPaperShapeHeadline asserts the reproduction's headline results keep
+// the paper's shape: near-linear scaling to 8 cores (paper: up to 7.4),
+// double-digit speedup at 16 (paper: up to 12.1), and no significant speedup
+// for the linear benchmarks compress and search.
+func TestPaperShapeHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline sweep is slow")
+	}
+	var max8, max16 float64
+	for _, bench := range []string{"db", "javacc", "jlisp"} {
+		res, err := SweepCores(bench, []int{1, 8, 16}, 1, 42, Config{}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s8 := float64(res[0].Stats.Cycles) / float64(res[1].Stats.Cycles)
+		s16 := float64(res[0].Stats.Cycles) / float64(res[2].Stats.Cycles)
+		if s8 > max8 {
+			max8 = s8
+		}
+		if s16 > max16 {
+			max16 = s16
+		}
+	}
+	if max8 < 6.5 {
+		t.Errorf("best 8-core speedup %.2f; paper reports up to 7.4", max8)
+	}
+	if max16 < 10 {
+		t.Errorf("best 16-core speedup %.2f; paper reports up to 12.1", max16)
+	}
+	for _, bench := range []string{"compress", "search"} {
+		res, err := SweepCores(bench, []int{1, 16}, 1, 42, Config{}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := float64(res[0].Stats.Cycles) / float64(res[1].Stats.Cycles)
+		if s > 3.5 {
+			t.Errorf("%s speeds up %.2fx; the paper reports no significant speedup", bench, s)
+		}
+	}
+}
+
+// TestPaperShapeLatency asserts the Figure 6 result: adding 20 cycles of
+// memory latency improves 16-core scalability for parallel benchmarks.
+func TestPaperShapeLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency sweep is slow")
+	}
+	speedup16 := func(cfg Config) float64 {
+		res, err := SweepCores("javacc", []int{1, 16}, 1, 42, cfg, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res[0].Stats.Cycles) / float64(res[1].Stats.Cycles)
+	}
+	fast := speedup16(Config{})
+	slow := speedup16(Config{ExtraMemLatency: 20})
+	if slow <= fast {
+		t.Errorf("Figure 6 shape lost: speedup %.2f with +20 latency vs %.2f without", slow, fast)
+	}
+}
+
+// TestPaperShapeCup asserts cup's Table II signature: the header FIFO
+// overflows and scan-lock stalls dominate among lock stalls.
+func TestPaperShapeCup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cup run is slow")
+	}
+	r, err := RunBenchmark("cup", 1, 42, Config{Cores: 16}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.FIFODrops == 0 {
+		t.Error("cup did not overflow the 32k header FIFO")
+	}
+	m := r.Stats.Mean()
+	if m.ScanLockStall <= m.HeaderLockStall || m.ScanLockStall <= m.FreeLockStall {
+		t.Errorf("cup scan-lock stalls (%d) do not dominate lock stalls (%+v)", m.ScanLockStall, m)
+	}
+}
+
+// TestPaperShapeJavac asserts javac's Table II signature: header-lock stalls
+// far above every other benchmark's, and removed by the §VI-B optimization.
+func TestPaperShapeJavac(t *testing.T) {
+	if testing.Short() {
+		t.Skip("javac run is slow")
+	}
+	r, err := RunBenchmark("javac", 1, 42, Config{Cores: 16}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := RunBenchmark("db", 1, 42, Config{Cores: 16}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Mean().HeaderLockStall < 100*max64(1, db.Stats.Mean().HeaderLockStall) {
+		t.Errorf("javac header-lock stalls (%d) not far above db (%d)",
+			r.Stats.Mean().HeaderLockStall, db.Stats.Mean().HeaderLockStall)
+	}
+	opt, err := RunBenchmark("javac", 1, 42, Config{Cores: 16, OptUnlockedMarkRead: true}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Stats.Mean().HeaderLockStall*10 > r.Stats.Mean().HeaderLockStall {
+		t.Errorf("optimization left header-lock stalls: %d of %d",
+			opt.Stats.Mean().HeaderLockStall, r.Stats.Mean().HeaderLockStall)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestBaselinesPublicAPI(t *testing.T) {
+	if len(Baselines()) != 5 {
+		t.Fatalf("baselines = %v", Baselines())
+	}
+	h, err := BuildWorkload("jlisp", 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := Snapshot(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBaseline("stealing", h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPreserved(before, h); err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveObjects == 0 || res.Sync.Total() == 0 {
+		t.Fatalf("result empty: %+v", res)
+	}
+	if _, err := RunBaseline("bogus", h, 1); err == nil {
+		t.Fatal("bogus baseline accepted")
+	}
+	if d, err := BaselineDescription("chunked"); err != nil || d == "" {
+		t.Fatal("description missing")
+	}
+}
+
+func TestMutatorPublicAPI(t *testing.T) {
+	mu, err := NewMutator(4096, Config{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Verify = true
+	rep, err := mu.RunChurn(ChurnConfig{Ops: 5000, RootSlots: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Allocated == 0 || rep.Collections == 0 {
+		t.Fatalf("churn did nothing: %+v", rep)
+	}
+}

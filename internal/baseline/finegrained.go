@@ -1,0 +1,151 @@
+package baseline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hwgc/internal/heap"
+	"hwgc/internal/object"
+)
+
+func init() { register(&fineGrained{}) }
+
+// fineGrained is the paper's own algorithm — object-granularity work
+// distribution over a single shared work list (the tospace region between
+// scan and free) — implemented with software synchronization on stock
+// shared memory. It is the approach Section I calls "prohibitively
+// expensive" without hardware support: every object costs a CAS on the scan
+// pointer, a fetch-add on the free pointer, an atomic claim on the header,
+// and two publishing stores, and consumers may additionally spin on frames
+// whose headers are not yet visible.
+type fineGrained struct{}
+
+func (*fineGrained) Name() string { return "finegrained" }
+
+func (*fineGrained) Description() string {
+	return "shared scan/free, per-object CAS (the paper's algorithm in software)"
+}
+
+func (*fineGrained) Collect(h *heap.Heap, workers int) (Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	start := time.Now()
+	c := newCycle(h)
+
+	var scan atomic.Uint64
+	scan.Store(uint64(c.base))
+	var active atomic.Int64
+	active.Store(int64(workers))
+
+	syncs := make([]SyncCounts, workers)
+	errs := make([]error, workers)
+	objs := make([]int64, workers)
+	words := make([]int64, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := &syncs[w]
+
+			resolve := func(p object.Addr) (object.Addr, error) {
+				fwd, evac, err := claimEvacuate(c, p, true, func(size int) (object.Addr, error) {
+					a, ok := c.bump(size, sc)
+					if !ok {
+						return 0, errTospaceOverflow
+					}
+					return a, nil
+				}, sc)
+				if evac {
+					objs[w]++
+				}
+				return fwd, err
+			}
+
+			if err := processRoots(c, w, workers, resolve); err != nil {
+				c.aborted.Store(true)
+				errs[w] = err
+				return
+			}
+
+			idle := false
+			for {
+				if c.aborted.Load() {
+					return
+				}
+				sc.AtomicLoads += 2
+				s := object.Addr(scan.Load())
+				f := object.Addr(c.free.Load())
+				if s == f {
+					if !idle {
+						idle = true
+						sc.FetchAdds++
+						active.Add(-1)
+					}
+					sc.AtomicLoads++
+					if active.Load() == 0 {
+						// No worker is processing an object, so free cannot
+						// advance: termination.
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				if idle {
+					// Work appeared: re-activate before touching it.
+					idle = false
+					sc.FetchAdds++
+					active.Add(1)
+					continue
+				}
+				// The copy's header may not be published yet (free is
+				// advanced by the evacuating worker's fetch-add before the
+				// header store); spin until it is.
+				sc.AtomicLoads++
+				hdr := atomic.LoadUint64(&c.mem[s])
+				if hdr == 0 {
+					sc.SpinWaits++
+					runtime.Gosched()
+					continue
+				}
+				size := object.SizeWords(hdr)
+				sc.CAS++
+				if !scan.CompareAndSwap(uint64(s), uint64(s)+uint64(size)) {
+					sc.CASRetries++
+					continue
+				}
+				// We own the object at s.
+				n, err := scanObject(c, s, resolve)
+				if err != nil {
+					c.aborted.Store(true)
+					errs[w] = err
+					return
+				}
+				// Blacken: clear the gray publication bit. A worker that
+				// read the scan register before our CAS may still issue a
+				// racing atomic load of this header (and discard it after
+				// its own CAS fails), so the store must be atomic too.
+				sc.AtomicStores++
+				atomic.StoreUint64(&c.mem[s], object.BlackHeader(hdr))
+				words[w] += int64(n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := firstErr(errs); err != nil {
+		return Result{}, err
+	}
+
+	var total SyncCounts
+	var liveObjects, liveWords int64
+	for w := 0; w < workers; w++ {
+		total.add(syncs[w])
+		liveObjects += objs[w]
+		liveWords += words[w]
+	}
+	return c.finish(workers, start, liveObjects, liveWords, total), nil
+}

@@ -1,0 +1,155 @@
+package baseline
+
+import (
+	"sync"
+	"time"
+
+	"hwgc/internal/heap"
+	"hwgc/internal/object"
+)
+
+func init() { register(&workPackets{PacketCap: defaultPacketCap, LABWords: defaultLABWords}) }
+
+const (
+	defaultPacketCap = 512
+	defaultLABWords  = 2048
+)
+
+// workPackets is Ossia et al.'s work-packet collector: the collection work
+// is divided into packets, each containing references to a set of gray
+// objects. A worker repeatedly removes a single packet from a shared pool,
+// locally scans the objects referenced by it, and inserts packets with new
+// gray references back into the pool — replacing object-level granularity by
+// packet-level granularity. Allocation goes through per-worker local
+// allocation buffers so the shared free pointer is touched once per LAB.
+type workPackets struct {
+	// PacketCap is the number of gray references per packet.
+	PacketCap int
+	// LABWords is the local allocation buffer size in words.
+	LABWords int
+}
+
+func (*workPackets) Name() string { return "workpackets" }
+
+func (*workPackets) Description() string {
+	return "Ossia-style work packets (shared packet pool, per-worker LABs)"
+}
+
+func (g *workPackets) Collect(h *heap.Heap, workers int) (Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	packetCap := g.PacketCap
+	if packetCap < 1 {
+		packetCap = defaultPacketCap
+	}
+	start := time.Now()
+	c := newCycle(h)
+	// Clamp the LAB size so that small heaps stay collectable: the waste
+	// bound of one open LAB per worker must fit in the tospace headroom.
+	// Objects larger than a LAB take a dedicated allocation.
+	labWords := g.LABWords
+	if labWords < 16 {
+		labWords = defaultLABWords
+	}
+	if cap := int(c.limit-c.base) / (4 * workers); labWords > cap {
+		labWords = cap
+	}
+	if labWords < 16 {
+		labWords = 16
+	}
+	pool := newPool[[]object.Addr](workers, &c.aborted)
+
+	syncs := make([]SyncCounts, workers)
+	errs := make([]error, workers)
+	objs := make([]int64, workers)
+	words := make([]int64, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := &syncs[w]
+			l := &lab{size: labWords}
+			defer l.close(c)
+
+			// out accumulates newly gray references; full packets go to the
+			// shared pool.
+			out := make([]object.Addr, 0, packetCap)
+			flush := func() {
+				if len(out) > 0 {
+					pool.Put(out, sc)
+					out = make([]object.Addr, 0, packetCap)
+				}
+			}
+
+			resolve := func(p object.Addr) (object.Addr, error) {
+				fwd, evac, err := claimEvacuate(c, p, false, func(size int) (object.Addr, error) {
+					return l.alloc(c, size, sc)
+				}, sc)
+				if err != nil {
+					return 0, err
+				}
+				if evac {
+					objs[w]++
+					out = append(out, fwd)
+					if len(out) == packetCap {
+						flush()
+					}
+				}
+				return fwd, nil
+			}
+
+			fail := func(err error) {
+				c.aborted.Store(true)
+				errs[w] = err
+			}
+
+			if err := processRoots(c, w, workers, resolve); err != nil {
+				fail(err)
+				return
+			}
+
+			// in holds the packet currently being processed.
+			var in []object.Addr
+			for {
+				if len(in) == 0 {
+					// Before blocking on the shared pool, drain our own
+					// partial out-packet: its work would otherwise be
+					// invisible to the termination detector.
+					if len(out) > 0 {
+						in, out = out, in[:0]
+					} else {
+						var done bool
+						in, done = pool.Get(sc)
+						if done {
+							return
+						}
+					}
+				}
+				g := in[len(in)-1]
+				in = in[:len(in)-1]
+				n, err := scanObject(c, g, resolve)
+				if err != nil {
+					fail(err)
+					return
+				}
+				words[w] += int64(n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := firstErr(errs); err != nil {
+		return Result{}, err
+	}
+
+	var total SyncCounts
+	var liveObjects, liveWords int64
+	for w := 0; w < workers; w++ {
+		total.add(syncs[w])
+		liveObjects += objs[w]
+		liveWords += words[w]
+	}
+	return c.finish(workers, start, liveObjects, liveWords, total), nil
+}

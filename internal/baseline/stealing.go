@@ -1,0 +1,208 @@
+package baseline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hwgc/internal/heap"
+	"hwgc/internal/object"
+)
+
+func init() { register(&stealing{LABWords: defaultLABWords}) }
+
+// stealing is Flood et al.'s work-stealing collector: every worker owns a
+// deque of gray references; it pushes and pops at the bottom, and idle
+// workers steal from the top of other workers' deques. Unlike Endo et al.'s
+// scheme, other workers may access all objects in all pools, not only a
+// dedicated exposed subset. Allocation goes through per-worker local
+// allocation buffers.
+type stealing struct {
+	// LABWords is the local allocation buffer size in words.
+	LABWords int
+}
+
+func (*stealing) Name() string { return "stealing" }
+
+func (*stealing) Description() string {
+	return "Flood-style work stealing (per-worker deques, per-worker LABs)"
+}
+
+// deque is a mutex-protected double-ended work queue. The owner pushes and
+// pops at the bottom (LIFO, cache-friendly); thieves take from the top
+// (FIFO, steals old, presumably large subgraphs). A mutex keeps the
+// implementation obviously correct; the acquisition count is what the
+// benchmark reports.
+type deque struct {
+	mu    sync.Mutex
+	items []object.Addr
+}
+
+func (d *deque) push(a object.Addr, sc *SyncCounts) {
+	sc.MutexOps++
+	d.mu.Lock()
+	d.items = append(d.items, a)
+	d.mu.Unlock()
+}
+
+func (d *deque) popBottom(sc *SyncCounts) (object.Addr, bool) {
+	sc.MutexOps++
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return 0, false
+	}
+	a := d.items[n-1]
+	d.items = d.items[:n-1]
+	return a, true
+}
+
+func (d *deque) stealTop(sc *SyncCounts) (object.Addr, bool) {
+	sc.MutexOps++
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return 0, false
+	}
+	a := d.items[0]
+	d.items = d.items[1:]
+	return a, true
+}
+
+func (g *stealing) Collect(h *heap.Heap, workers int) (Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	start := time.Now()
+	c := newCycle(h)
+	// Clamp the LAB size so that small heaps stay collectable: the waste
+	// bound of one open LAB per worker must fit in the tospace headroom.
+	// Objects larger than a LAB take a dedicated allocation.
+	labWords := g.LABWords
+	if labWords < 16 {
+		labWords = defaultLABWords
+	}
+	if cap := int(c.limit-c.base) / (4 * workers); labWords > cap {
+		labWords = cap
+	}
+	if labWords < 16 {
+		labWords = 16
+	}
+	deques := make([]deque, workers)
+	var idle atomic.Int64
+
+	syncs := make([]SyncCounts, workers)
+	errs := make([]error, workers)
+	objs := make([]int64, workers)
+	words := make([]int64, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := &syncs[w]
+			l := &lab{size: labWords}
+			defer l.close(c)
+			own := &deques[w]
+
+			resolve := func(p object.Addr) (object.Addr, error) {
+				fwd, evac, err := claimEvacuate(c, p, false, func(size int) (object.Addr, error) {
+					return l.alloc(c, size, sc)
+				}, sc)
+				if err != nil {
+					return 0, err
+				}
+				if evac {
+					objs[w]++
+					own.push(fwd, sc)
+				}
+				return fwd, nil
+			}
+
+			fail := func(err error) {
+				c.aborted.Store(true)
+				errs[w] = err
+			}
+
+			if err := processRoots(c, w, workers, resolve); err != nil {
+				fail(err)
+				return
+			}
+
+			scan := func(a object.Addr) bool {
+				n, err := scanObject(c, a, resolve)
+				if err != nil {
+					fail(err)
+					return false
+				}
+				words[w] += int64(n)
+				return true
+			}
+
+			registered := false
+			for {
+				if c.aborted.Load() {
+					return
+				}
+				// Local work first.
+				if a, ok := own.popBottom(sc); ok {
+					if registered {
+						registered = false
+						idle.Add(-1)
+					}
+					if !scan(a) {
+						return
+					}
+					continue
+				}
+				// Steal sweep, starting after ourselves for fairness.
+				stolen := false
+				for k := 1; k < workers; k++ {
+					v := &deques[(w+k)%workers]
+					if a, ok := v.stealTop(sc); ok {
+						if registered {
+							registered = false
+							idle.Add(-1)
+						}
+						stolen = true
+						if !scan(a) {
+							return
+						}
+						break
+					}
+				}
+				if stolen {
+					continue
+				}
+				// Nothing anywhere: register idle and re-check. A worker
+				// only pushes to its own deque while active, and it only
+				// registers idle with an empty own deque, so when every
+				// worker is idle all deques are empty for good.
+				if !registered {
+					registered = true
+					idle.Add(1)
+				}
+				if idle.Load() == int64(workers) {
+					return
+				}
+				runtime.Gosched()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := firstErr(errs); err != nil {
+		return Result{}, err
+	}
+
+	var total SyncCounts
+	var liveObjects, liveWords int64
+	for w := 0; w < workers; w++ {
+		total.add(syncs[w])
+		liveObjects += objs[w]
+		liveWords += words[w]
+	}
+	return c.finish(workers, start, liveObjects, liveWords, total), nil
+}

@@ -1,0 +1,260 @@
+package baseline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hwgc/internal/heap"
+	"hwgc/internal/object"
+)
+
+func init() {
+	register(&taskPush{QueueCap: defaultTaskQueueCap, LABWords: defaultLABWords, LocalKeep: 64})
+}
+
+const defaultTaskQueueCap = 256
+
+// taskPush is Wu & Li's task-pushing collector (IPDPS 2007), the last of the
+// work-distribution schemes the paper surveys: instead of stealing, workers
+// *push* surplus gray tasks to their peers through an object queue per
+// ordered worker pair (A, B). Because each queue has a single writer and a
+// single reader, it needs no heavy-weight synchronization primitives — only
+// release/acquire index updates — which is the scheme's selling point.
+//
+// Termination uses an idle counter plus a designated detector (worker 0)
+// that declares completion only after observing, in order: every worker
+// idle, every queue empty, and every worker still idle — at which point no
+// push can ever happen again.
+type taskPush struct {
+	// QueueCap is the capacity of each single-writer/single-reader queue.
+	QueueCap int
+	// LABWords is the local allocation buffer size in words.
+	LABWords int
+	// LocalKeep is how many gray tasks a worker keeps for itself before it
+	// starts pushing surplus to its peers.
+	LocalKeep int
+}
+
+func (*taskPush) Name() string { return "taskpush" }
+
+func (*taskPush) Description() string {
+	return "Wu/Li task-pushing (single-writer/single-reader queues per worker pair)"
+}
+
+// spscQueue is a bounded single-producer/single-consumer ring. The producer
+// owns tail, the consumer owns head; the slot contents are ordered by the
+// atomic index updates.
+type spscQueue struct {
+	items []object.Addr
+	head  atomic.Int64 // consumer side
+	tail  atomic.Int64 // producer side
+}
+
+func (q *spscQueue) push(a object.Addr, sc *SyncCounts) bool {
+	sc.AtomicLoads++
+	t := q.tail.Load()
+	sc.AtomicLoads++
+	if t-q.head.Load() >= int64(len(q.items)) {
+		return false // full
+	}
+	q.items[t%int64(len(q.items))] = a
+	sc.AtomicStores++
+	q.tail.Store(t + 1)
+	return true
+}
+
+func (q *spscQueue) pop(sc *SyncCounts) (object.Addr, bool) {
+	sc.AtomicLoads += 2
+	h := q.head.Load()
+	if h >= q.tail.Load() {
+		return 0, false
+	}
+	a := q.items[h%int64(len(q.items))]
+	sc.AtomicStores++
+	q.head.Store(h + 1)
+	return a, true
+}
+
+func (q *spscQueue) empty() bool { return q.head.Load() >= q.tail.Load() }
+
+func (g *taskPush) Collect(h *heap.Heap, workers int) (Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	queueCap := g.QueueCap
+	if queueCap < 4 {
+		queueCap = defaultTaskQueueCap
+	}
+	localKeep := g.LocalKeep
+	if localKeep < 1 {
+		localKeep = 64
+	}
+
+	start := time.Now()
+	c := newCycle(h)
+	labWords := g.LABWords
+	if labWords < 16 {
+		labWords = defaultLABWords
+	}
+	if cap := int(c.limit-c.base) / (4 * workers); labWords > cap {
+		labWords = cap
+	}
+	if labWords < 16 {
+		labWords = 16
+	}
+
+	// queues[i][j]: worker i pushes, worker j pops.
+	queues := make([][]*spscQueue, workers)
+	for i := range queues {
+		queues[i] = make([]*spscQueue, workers)
+		for j := range queues[i] {
+			if i != j {
+				queues[i][j] = &spscQueue{items: make([]object.Addr, queueCap)}
+			}
+		}
+	}
+
+	var idle atomic.Int64
+	var done atomic.Bool
+
+	syncs := make([]SyncCounts, workers)
+	errs := make([]error, workers)
+	objs := make([]int64, workers)
+	words := make([]int64, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := &syncs[w]
+			l := &lab{size: labWords}
+			defer l.close(c)
+
+			var local []object.Addr // private mark stack, no synchronization
+			rr := (w + 1) % workers // round-robin push target
+
+			distribute := func(fwd object.Addr) {
+				if workers > 1 && len(local) >= localKeep {
+					// Surplus: push to a peer's incoming queue.
+					for k := 0; k < workers-1; k++ {
+						target := rr
+						rr = (rr + 1) % workers
+						if rr == w {
+							rr = (rr + 1) % workers
+						}
+						if queues[w][target].push(fwd, sc) {
+							return
+						}
+					}
+					// All queues full: keep it ourselves.
+				}
+				local = append(local, fwd)
+			}
+
+			resolve := func(p object.Addr) (object.Addr, error) {
+				fwd, evac, err := claimEvacuate(c, p, false, func(size int) (object.Addr, error) {
+					return l.alloc(c, size, sc)
+				}, sc)
+				if err != nil {
+					return 0, err
+				}
+				if evac {
+					objs[w]++
+					distribute(fwd)
+				}
+				return fwd, nil
+			}
+
+			fail := func(err error) {
+				c.aborted.Store(true)
+				errs[w] = err
+			}
+
+			if err := processRoots(c, w, workers, resolve); err != nil {
+				fail(err)
+				return
+			}
+
+			pollIncoming := func() (object.Addr, bool) {
+				for i := 0; i < workers; i++ {
+					if i == w {
+						continue
+					}
+					if a, ok := queues[i][w].pop(sc); ok {
+						return a, true
+					}
+				}
+				return 0, false
+			}
+
+			allQueuesEmpty := func() bool {
+				for i := 0; i < workers; i++ {
+					for j := 0; j < workers; j++ {
+						if i != j && !queues[i][j].empty() {
+							return false
+						}
+					}
+				}
+				return true
+			}
+
+			registered := false
+			for {
+				if c.aborted.Load() || done.Load() {
+					return
+				}
+				var task object.Addr
+				var ok bool
+				if n := len(local); n > 0 {
+					task, local = local[n-1], local[:n-1]
+					ok = true
+				} else {
+					task, ok = pollIncoming()
+				}
+				if ok {
+					if registered {
+						registered = false
+						idle.Add(-1)
+					}
+					n, err := scanObject(c, task, resolve)
+					if err != nil {
+						fail(err)
+						return
+					}
+					words[w] += int64(n)
+					continue
+				}
+				if !registered {
+					registered = true
+					idle.Add(1)
+				}
+				// Worker 0 is the termination detector: all idle → all
+				// queues empty → still all idle ⇒ no push can ever occur
+				// again (pushes only happen while active, activation only by
+				// taking a task, and there are none).
+				if w == 0 && idle.Load() == int64(workers) &&
+					allQueuesEmpty() && idle.Load() == int64(workers) {
+					done.Store(true)
+					return
+				}
+				runtime.Gosched()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := firstErr(errs); err != nil {
+		return Result{}, err
+	}
+
+	var total SyncCounts
+	var liveObjects, liveWords int64
+	for w := 0; w < workers; w++ {
+		total.add(syncs[w])
+		liveObjects += objs[w]
+		liveWords += words[w]
+	}
+	return c.finish(workers, start, liveObjects, liveWords, total), nil
+}

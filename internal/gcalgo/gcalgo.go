@@ -1,0 +1,231 @@
+// Package gcalgo provides an untimed reference implementation of Cheney's
+// sequential copying collector (paper Section II) and a verification oracle.
+//
+// The reference collector is the specification against which every other
+// collector in this repository — the simulated multi-core coprocessor and
+// the software baseline collectors — is checked: a collection is correct
+// when the logical object graph reachable from the roots is preserved
+// (same shapes, same data, same wiring), all surviving objects lie compacted
+// at the bottom of the new space, and no GC bookkeeping bits remain.
+package gcalgo
+
+import (
+	"fmt"
+
+	"hwgc/internal/heap"
+	"hwgc/internal/object"
+)
+
+// Collect runs Cheney's sequential algorithm on h: it flips the semispaces,
+// evacuates all objects reachable from the root set into the new space, and
+// updates the roots. It returns the number of live objects and words.
+func Collect(h *heap.Heap) (liveObjects, liveWords int, err error) {
+	to := h.OtherSpace()
+	base := h.Base(to)
+	limit := h.Limit(to)
+	mem := h.Mem()
+
+	scan := base
+	free := base
+
+	// evacuate copies the full object at p into tospace (the reference
+	// implementation copies eagerly rather than via backlinks; the result
+	// is identical) and returns the forwarding pointer.
+	evacuate := func(p object.Addr) (object.Addr, error) {
+		hdr := mem[p]
+		if object.Marked(hdr) {
+			return object.Link(hdr), nil
+		}
+		size := object.Addr(object.SizeWords(hdr))
+		if free+size > limit {
+			return 0, fmt.Errorf("gcalgo: tospace overflow at free=%d size=%d", free, size)
+		}
+		dst := free
+		free += size
+		mem[dst] = object.BlackHeader(hdr)
+		mem[dst+1] = 0
+		copy(mem[dst+object.HeaderWords:dst+size], mem[p+object.HeaderWords:p+size])
+		mem[p] = object.WithMark(hdr, dst)
+		liveObjects++
+		return dst, nil
+	}
+
+	roots := h.Roots()
+	for i, r := range roots {
+		if r == object.NilPtr {
+			continue
+		}
+		fwd, e := evacuate(r)
+		if e != nil {
+			return 0, 0, e
+		}
+		h.SetRoot(i, fwd)
+	}
+
+	for scan < free {
+		hdr := mem[scan]
+		pi := object.Pi(hdr)
+		for i := 0; i < pi; i++ {
+			slot := object.PtrSlot(scan, i)
+			p := object.Addr(mem[slot])
+			if p == object.NilPtr {
+				continue
+			}
+			fwd, e := evacuate(p)
+			if e != nil {
+				return 0, 0, e
+			}
+			mem[slot] = object.Word(fwd)
+		}
+		scan += object.Addr(object.SizeWords(hdr))
+	}
+
+	h.FinishCycle(free)
+	return liveObjects, int(free - base), nil
+}
+
+// Node is one object of a logical heap graph. Pointer slots hold node
+// indices (-1 for nil).
+type Node struct {
+	Pi    int
+	Delta int
+	Ptrs  []int
+	Data  []object.Word
+}
+
+// Graph is the logical object graph reachable from a heap's roots, in a
+// canonical form: nodes are numbered in deterministic breadth-first
+// discovery order starting from the roots. Two heaps hold the same logical
+// graph exactly when their Graphs are deep-equal, regardless of where the
+// collector placed the objects.
+type Graph struct {
+	Roots []int // node indices, -1 for nil roots
+	Nodes []Node
+}
+
+// Snapshot extracts the canonical logical graph of h's current space. It
+// validates that every traversed pointer refers to an object base within the
+// current space.
+func Snapshot(h *heap.Heap) (*Graph, error) {
+	// Valid object bases in the current space.
+	bases := make(map[object.Addr]bool)
+	h.Objects(h.CurSpace(), h.AllocPtr(), func(b object.Addr, _ object.Word) bool {
+		bases[b] = true
+		return true
+	})
+
+	g := &Graph{}
+	index := make(map[object.Addr]int)
+	var queue []object.Addr
+
+	visit := func(p object.Addr, what string) (int, error) {
+		if p == object.NilPtr {
+			return -1, nil
+		}
+		if !bases[p] {
+			return 0, fmt.Errorf("gcalgo: %s refers to %d, not a live object base", what, p)
+		}
+		if i, ok := index[p]; ok {
+			return i, nil
+		}
+		i := len(index)
+		index[p] = i
+		queue = append(queue, p)
+		return i, nil
+	}
+
+	for ri, r := range h.Roots() {
+		i, err := visit(r, fmt.Sprintf("root %d", ri))
+		if err != nil {
+			return nil, err
+		}
+		g.Roots = append(g.Roots, i)
+	}
+
+	for qi := 0; qi < len(queue); qi++ {
+		b := queue[qi]
+		hd := h.Header(b)
+		if hd.Mark || hd.Gray {
+			return nil, fmt.Errorf("gcalgo: live object at %d still has GC bits set", b)
+		}
+		n := Node{Pi: hd.Pi, Delta: hd.Delta}
+		for i := 0; i < hd.Pi; i++ {
+			ci, err := visit(h.Ptr(b, i), fmt.Sprintf("pointer %d of object %d", i, b))
+			if err != nil {
+				return nil, err
+			}
+			n.Ptrs = append(n.Ptrs, ci)
+		}
+		for i := 0; i < hd.Delta; i++ {
+			n.Data = append(n.Data, h.Data(b, i))
+		}
+		g.Nodes = append(g.Nodes, n)
+	}
+	return g, nil
+}
+
+// LiveWords returns the total heap words occupied by the graph's objects.
+func (g *Graph) LiveWords() int {
+	w := 0
+	for _, n := range g.Nodes {
+		w += object.Size(n.Pi, n.Delta)
+	}
+	return w
+}
+
+// Equal reports the first difference between two canonical graphs, or nil if
+// they are identical.
+func (g *Graph) Equal(o *Graph) error {
+	if len(g.Roots) != len(o.Roots) {
+		return fmt.Errorf("gcalgo: root count differs: %d vs %d", len(g.Roots), len(o.Roots))
+	}
+	for i := range g.Roots {
+		if g.Roots[i] != o.Roots[i] {
+			return fmt.Errorf("gcalgo: root %d differs: node %d vs %d", i, g.Roots[i], o.Roots[i])
+		}
+	}
+	if len(g.Nodes) != len(o.Nodes) {
+		return fmt.Errorf("gcalgo: node count differs: %d vs %d", len(g.Nodes), len(o.Nodes))
+	}
+	for i := range g.Nodes {
+		a, b := &g.Nodes[i], &o.Nodes[i]
+		if a.Pi != b.Pi || a.Delta != b.Delta {
+			return fmt.Errorf("gcalgo: node %d shape differs: (π=%d,δ=%d) vs (π=%d,δ=%d)", i, a.Pi, a.Delta, b.Pi, b.Delta)
+		}
+		for j := range a.Ptrs {
+			if a.Ptrs[j] != b.Ptrs[j] {
+				return fmt.Errorf("gcalgo: node %d pointer %d differs: %d vs %d", i, j, a.Ptrs[j], b.Ptrs[j])
+			}
+		}
+		for j := range a.Data {
+			if a.Data[j] != b.Data[j] {
+				return fmt.Errorf("gcalgo: node %d data %d differs: %#x vs %#x", i, j, a.Data[j], b.Data[j])
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyCollection checks that h (after some collector ran on it) holds
+// exactly the logical graph captured in before, that the heap's structural
+// invariants hold, and that the space is perfectly compacted (allocation
+// pointer equals base plus live words). It is the shared oracle for all
+// collectors in this repository.
+func VerifyCollection(before *Graph, h *heap.Heap) error {
+	if err := h.CheckIntegrity(); err != nil {
+		return err
+	}
+	after, err := Snapshot(h)
+	if err != nil {
+		return err
+	}
+	if err := before.Equal(after); err != nil {
+		return err
+	}
+	want := h.Base(h.CurSpace()) + object.Addr(before.LiveWords())
+	if h.AllocPtr() != want {
+		return fmt.Errorf("gcalgo: imperfect compaction: alloc pointer %d, want %d (live words %d)",
+			h.AllocPtr(), want, before.LiveWords())
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package machine
+
+import (
+	"math/rand"
+
+	"hwgc/internal/heap"
+	"hwgc/internal/object"
+)
+
+// NewConcurrentChurn returns a deterministic MutDriver that performs a
+// randomized pointer-chasing / field-writing / allocating workload over the
+// heap's root set — a generic stand-in for an application running while the
+// coprocessor collects.
+//
+// The driver inspects object *shapes* (π, δ) through the heap directly,
+// which is legitimate meta-knowledge — a real program knows the static
+// types of the objects it manipulates — while every actual field access it
+// performs goes through the timed mutator port. Shape reads are safe at any
+// point of the collection: the mutator only ever holds tospace references,
+// and both gray and black tospace headers carry the correct π and δ.
+func NewConcurrentChurn(h *heap.Heap, seed int64, maxOps, maxAllocs int64) MutDriver {
+	rng := rand.New(rand.NewSource(seed))
+	var allocs int64
+
+	shape := func(a object.Addr) (pi, delta int) {
+		hd := h.Header(a)
+		return hd.Pi, hd.Delta
+	}
+	pick := func(regs []object.Addr, pred func(pi, delta int) bool) (int, bool) {
+		start := rng.Intn(len(regs))
+		for k := 0; k < len(regs); k++ {
+			r := (start + k) % len(regs)
+			if regs[r] == object.NilPtr {
+				continue
+			}
+			if pi, delta := shape(regs[r]); pred(pi, delta) {
+				return r, true
+			}
+		}
+		return 0, false
+	}
+
+	return func(seq int64, regs []object.Addr, _ object.Word) (MutOp, bool) {
+		if seq >= maxOps {
+			return MutOp{}, false
+		}
+		for try := 0; try < 16; try++ {
+			switch rng.Intn(8) {
+			case 0, 1: // load a root
+				return MutOp{
+					Kind:    MutLoadRoot,
+					Reg:     rng.Intn(len(regs)),
+					RootIdx: rng.Intn(h.NumRoots()),
+				}, true
+			case 2, 3: // follow a pointer
+				r, ok := pick(regs, func(pi, _ int) bool { return pi > 0 })
+				if !ok {
+					continue
+				}
+				pi, _ := shape(regs[r])
+				return MutOp{Kind: MutLoadPtr, Reg: r, Reg2: rng.Intn(len(regs)), Slot: rng.Intn(pi)}, true
+			case 4: // read a data word
+				r, ok := pick(regs, func(_, delta int) bool { return delta > 0 })
+				if !ok {
+					continue
+				}
+				_, delta := shape(regs[r])
+				return MutOp{Kind: MutLoadData, Reg: r, Slot: rng.Intn(delta)}, true
+			case 5: // overwrite a data word
+				r, ok := pick(regs, func(_, delta int) bool { return delta > 0 })
+				if !ok {
+					continue
+				}
+				_, delta := shape(regs[r])
+				return MutOp{Kind: MutStoreData, Reg: r, Slot: rng.Intn(delta), Data: rng.Uint64()}, true
+			case 6: // allocate a small object and keep it in a register
+				if allocs >= maxAllocs {
+					continue
+				}
+				allocs++
+				return MutOp{Kind: MutAlloc, Reg: rng.Intn(len(regs)), Pi: rng.Intn(3), Delta: rng.Intn(5)}, true
+			default:
+				return MutOp{Kind: MutNop}, true
+			}
+		}
+		return MutOp{Kind: MutNop}, true
+	}
+}

@@ -1,0 +1,460 @@
+package machine
+
+import (
+	"fmt"
+
+	"hwgc/internal/mem"
+	"hwgc/internal/object"
+)
+
+// Concurrent collection — the paper's stated next step (Section V-B: "as a
+// next step, we intend to allow the multi-core coprocessor to run
+// concurrently to the main processor"), built from the pieces this paper
+// already provides. The design follows from three observations:
+//
+//  1. The scanning cores rewrite every pointer slot of an object before
+//     blackening it, so a *black* tospace object contains only tospace
+//     pointers. A mutator that (a) starts the cycle with forwarded roots
+//     and (b) never reads a field of a non-black object can therefore never
+//     acquire a fromspace reference — Baker's invariant holds with a
+//     *wait-until-black* access barrier instead of a forwarding read
+//     barrier (this is what the authors' prior hardware-read-barrier work
+//     provides in silicon).
+//
+//  2. Objects the mutator allocates during the cycle have no fromspace
+//     original and hold only tospace pointers, so they are *black at
+//     birth*: the frame is published with a plain (non-gray) header and the
+//     scanning cores simply step over it when the scan pointer reaches it.
+//
+//  3. Allocation contends for the free pointer exactly like evacuation, so
+//     the mutator port participates in the synchronization block's free
+//     lock like a seventeenth core.
+//
+// The mutator is modelled as one more cycle-stepped port (registers for the
+// object references it holds, one operation in flight, the same four memory
+// ports as a GC core) driven by a deterministic MutDriver. Its observable
+// cost — the longest time any single operation stalls — is the concurrent
+// analogue of the stop-the-world pause.
+
+// MutKind enumerates the mutator operations.
+type MutKind int
+
+const (
+	// MutNop idles for one period.
+	MutNop MutKind = iota
+	// MutLoadRoot loads a root slot into a register: regs[Reg] = roots[RootIdx].
+	MutLoadRoot
+	// MutStoreRoot stores a register into a root slot: roots[RootIdx] = regs[Reg].
+	MutStoreRoot
+	// MutLoadPtr loads a pointer field: regs[Reg2] = regs[Reg].ptr[Slot].
+	MutLoadPtr
+	// MutStorePtr stores a pointer field: regs[Reg].ptr[Slot] = regs[Reg2].
+	MutStorePtr
+	// MutLoadData loads a data word into the data register: data = regs[Reg].data[Slot].
+	MutLoadData
+	// MutStoreData stores Data into a data word: regs[Reg].data[Slot] = Data.
+	MutStoreData
+	// MutAlloc allocates a zero-initialized object: regs[Reg] = new(π=Pi, δ=Delta).
+	MutAlloc
+)
+
+// MutOp is one mutator operation.
+type MutOp struct {
+	Kind    MutKind
+	Reg     int // target object register
+	Reg2    int // second register (value for MutStorePtr, result for MutLoadPtr)
+	Slot    int
+	RootIdx int
+	Pi      int
+	Delta   int
+	Data    object.Word
+}
+
+// MutDriver produces the mutator's operation stream. It is called once per
+// completed operation with the operation sequence number, a read-only view
+// of the register file, and the last MutLoadData result; returning ok=false
+// stops the mutator. The driver is the "program" of the main processor:
+// like a compiler, it may know the static shapes of the objects it
+// manipulates, but every heap access it wants timed must go through the
+// returned operations.
+type MutDriver func(seq int64, regs []object.Addr, lastData object.Word) (MutOp, bool)
+
+// MutatorRegisters is the size of the mutator port's register file.
+const MutatorRegisters = 16
+
+// MutatorStats reports the concurrent mutator's progress and costs.
+type MutatorStats struct {
+	Ops           int64 // operations completed
+	Allocs        int64 // objects allocated concurrently
+	StallCycles   int64 // cycles an operation was waiting beyond its own work
+	MaxOpLatency  int64 // the longest single operation, in cycles — the "pause" analogue
+	BarrierStalls int64 // cycles stalled waiting for a gray object to blacken
+	AllocLock     int64 // cycles stalled on the free lock
+	FramesSkipped int64 // black-at-birth frames the scanning cores stepped over
+}
+
+type mutState int
+
+const (
+	muWait mutState = iota // inter-operation period
+	muFetch
+	muHdrIssue // access barrier: load the target's header
+	muHdrWait
+	muBarrier // target gray: re-poll until black
+	muBodyIssue
+	muBodyWait
+	muBodyStore
+	muAllocLock
+	muAllocHdr
+	muAllocInit
+	muDone
+)
+
+// mutCore is the mutator port.
+type mutCore struct {
+	m      *Machine
+	id     int // memory port / free-lock identity (== cfg.Cores)
+	driver MutDriver
+	period int
+
+	regs     []object.Addr
+	lastData object.Word
+
+	st       mutState
+	op       MutOp
+	seq      int64
+	waitLeft int
+	opStart  int64
+
+	allocBase object.Addr
+	initIdx   int
+
+	stats MutatorStats
+}
+
+func newMutCore(m *Machine, driver MutDriver, period int) *mutCore {
+	if period < 1 {
+		period = 1
+	}
+	return &mutCore{
+		m:      m,
+		id:     m.cfg.Cores,
+		driver: driver,
+		period: period,
+		regs:   make([]object.Addr, MutatorRegisters),
+		st:     muWait,
+	}
+}
+
+// idle reports whether the mutator has no operation in flight.
+func (u *mutCore) idle() bool { return u.st == muWait || u.st == muDone }
+
+// fail aborts the collection with a mutator-side error.
+func (u *mutCore) fail(format string, args ...any) {
+	u.m.failf("machine: concurrent mutator: "+format, args...)
+	u.st = muDone
+}
+
+// step advances the mutator port by one clock cycle. draining suppresses
+// fetching new operations (the collection is finishing).
+func (u *mutCore) step(draining bool) {
+	switch u.st {
+	case muDone:
+		return
+
+	case muWait:
+		if draining {
+			return
+		}
+		u.waitLeft--
+		if u.waitLeft <= 0 {
+			u.fetch()
+		}
+
+	case muFetch:
+		u.fetch()
+
+	case muHdrIssue:
+		u.issueBarrierHdr()
+
+	case muHdrWait:
+		if !u.m.mem.LoadReady(u.id, mem.HeaderLoad) {
+			u.stats.StallCycles++
+			return
+		}
+		hdr := u.m.mem.TakeLoad(u.id, mem.HeaderLoad)
+		if object.GrayBit(hdr) {
+			// Under copy by a scanning core: wait until black. Re-polling
+			// costs a fresh header load each time, as it would on the bus.
+			u.stats.BarrierStalls++
+			u.stats.StallCycles++
+			u.st = muBarrier
+			return
+		}
+		u.execute()
+
+	case muBarrier:
+		u.stats.BarrierStalls++
+		u.stats.StallCycles++
+		u.issueBarrierHdr()
+
+	case muBodyIssue:
+		u.issueBodyLoad()
+
+	case muBodyWait:
+		if !u.m.mem.LoadReady(u.id, mem.BodyLoad) {
+			u.stats.StallCycles++
+			return
+		}
+		w := u.m.mem.TakeLoad(u.id, mem.BodyLoad)
+		if u.op.Kind == MutLoadPtr {
+			u.regs[u.op.Reg2] = object.Addr(w)
+		} else {
+			u.lastData = w
+		}
+		u.complete()
+
+	case muBodyStore:
+		u.issueBodyStore()
+
+	case muAllocLock:
+		u.tryAllocLock()
+
+	case muAllocHdr:
+		u.issueAllocHdr()
+
+	case muAllocInit:
+		u.allocInit()
+	}
+}
+
+// fetch asks the driver for the next operation and starts it.
+func (u *mutCore) fetch() {
+	op, ok := u.driver(u.seq, u.regs, u.lastData)
+	if !ok {
+		u.st = muDone
+		return
+	}
+	u.op = op
+	u.seq++
+	u.opStart = u.m.cycle
+	switch op.Kind {
+	case MutNop:
+		u.complete()
+	case MutLoadRoot:
+		if err := u.checkReg(op.Reg); err != nil || !u.checkRoot(op.RootIdx) {
+			return
+		}
+		u.regs[op.Reg] = u.m.heap.Root(op.RootIdx)
+		u.complete()
+	case MutStoreRoot:
+		if err := u.checkReg(op.Reg); err != nil || !u.checkRoot(op.RootIdx) {
+			return
+		}
+		u.m.heap.SetRoot(op.RootIdx, u.regs[op.Reg])
+		u.complete()
+	case MutLoadPtr, MutStorePtr, MutLoadData, MutStoreData:
+		if err := u.checkReg(op.Reg); err != nil {
+			return
+		}
+		if op.Kind == MutLoadPtr || op.Kind == MutStorePtr {
+			if err := u.checkReg(op.Reg2); err != nil {
+				return
+			}
+		}
+		if u.regs[op.Reg] == object.NilPtr {
+			u.fail("op %d dereferences nil register %d", u.seq-1, op.Reg)
+			return
+		}
+		u.issueBarrierHdr()
+	case MutAlloc:
+		if err := u.checkReg(op.Reg); err != nil {
+			return
+		}
+		if op.Pi < 0 || op.Pi > object.MaxPi || op.Delta < 0 || op.Delta > object.MaxDelta {
+			u.fail("op %d allocates invalid shape π=%d δ=%d", u.seq-1, op.Pi, op.Delta)
+			return
+		}
+		u.tryAllocLock()
+	default:
+		u.fail("op %d has unknown kind %d", u.seq-1, op.Kind)
+	}
+}
+
+func (u *mutCore) checkReg(r int) error {
+	if r < 0 || r >= len(u.regs) {
+		u.fail("register %d out of range", r)
+		return fmt.Errorf("bad register")
+	}
+	return nil
+}
+
+func (u *mutCore) checkRoot(i int) bool {
+	if i < 0 || i >= u.m.heap.NumRoots() {
+		u.fail("root %d out of range", i)
+		return false
+	}
+	return true
+}
+
+// issueBarrierHdr starts (or re-polls) the access barrier's header load.
+func (u *mutCore) issueBarrierHdr() {
+	if !u.m.mem.IssueLoad(u.id, mem.HeaderLoad, u.regs[u.op.Reg]) {
+		u.stats.StallCycles++
+		u.st = muHdrIssue
+		return
+	}
+	u.st = muHdrWait
+}
+
+// execute runs the field access once the barrier has admitted it. Slot
+// bounds are validated against the (now stable) header implied shape via
+// the heap, which is exact because the object is black.
+func (u *mutCore) execute() {
+	base := u.regs[u.op.Reg]
+	hd := u.m.heap.Header(base)
+	switch u.op.Kind {
+	case MutLoadPtr, MutStorePtr:
+		if u.op.Slot < 0 || u.op.Slot >= hd.Pi {
+			u.fail("op %d: pointer slot %d out of range (π=%d)", u.seq-1, u.op.Slot, hd.Pi)
+			return
+		}
+	case MutLoadData, MutStoreData:
+		if u.op.Slot < 0 || u.op.Slot >= hd.Delta {
+			u.fail("op %d: data slot %d out of range (δ=%d)", u.seq-1, u.op.Slot, hd.Delta)
+			return
+		}
+	}
+	switch u.op.Kind {
+	case MutLoadPtr, MutLoadData:
+		u.issueBodyLoad()
+	case MutStorePtr, MutStoreData:
+		u.issueBodyStore()
+	}
+}
+
+func (u *mutCore) bodyAddr() object.Addr {
+	base := u.regs[u.op.Reg]
+	if u.op.Kind == MutLoadPtr || u.op.Kind == MutStorePtr {
+		return object.PtrSlot(base, u.op.Slot)
+	}
+	hd := u.m.heap.Header(base)
+	return object.DataSlot(base, hd.Pi, u.op.Slot)
+}
+
+func (u *mutCore) issueBodyLoad() {
+	if !u.m.mem.IssueLoad(u.id, mem.BodyLoad, u.bodyAddr()) {
+		u.stats.StallCycles++
+		u.st = muBodyIssue
+		return
+	}
+	u.st = muBodyWait
+}
+
+func (u *mutCore) issueBodyStore() {
+	var w object.Word
+	if u.op.Kind == MutStorePtr {
+		w = object.Word(u.regs[u.op.Reg2])
+	} else {
+		w = u.op.Data
+	}
+	if !u.m.mem.IssueStore(u.id, mem.BodyStore, u.bodyAddr(), w) {
+		u.stats.StallCycles++
+		u.st = muBodyStore
+		return
+	}
+	u.complete()
+}
+
+// tryAllocLock contends for the free pointer like an evacuating core.
+func (u *mutCore) tryAllocLock() {
+	sb := u.m.sb
+	if !sb.TryAcquireFree(u.id) {
+		u.stats.AllocLock++
+		u.stats.StallCycles++
+		u.st = muAllocLock
+		return
+	}
+	u.allocBase = sb.Free()
+	size := object.Addr(object.Size(u.op.Pi, u.op.Delta))
+	if u.allocBase+size > u.m.toLimit {
+		sb.ReleaseFree(u.id)
+		u.fail("allocation outpaced the collector: free %d + %d exceeds tospace limit %d",
+			u.allocBase, size, u.m.toLimit)
+		return
+	}
+	u.issueAllocHdr()
+}
+
+// issueAllocHdr publishes the black-at-birth header and the free increment,
+// then releases the lock (one cycle held in the uncontended case, like the
+// evacuation path).
+func (u *mutCore) issueAllocHdr() {
+	hdr := object.Header{Pi: u.op.Pi, Delta: u.op.Delta}.Encode()
+	if !u.m.mem.IssueStore(u.id, mem.HeaderStore, u.allocBase, hdr) {
+		u.stats.StallCycles++
+		u.st = muAllocHdr
+		return
+	}
+	u.m.hc.Update(u.allocBase, hdr)
+	if u.m.fifo.Push(u.allocBase, hdr) {
+		u.m.fifoDrops++
+	}
+	sb := u.m.sb
+	sb.SetFree(u.id, u.allocBase+object.Addr(object.Size(u.op.Pi, u.op.Delta)))
+	sb.ReleaseFree(u.id)
+	u.initIdx = 0
+	u.st = muAllocInit
+	u.allocInit()
+}
+
+// allocInit zero-initializes the new object's frame, one store per cycle:
+// index 0 covers header word 1, indices 1..π+δ cover the body, so the frame
+// is fully defined before the mutator uses it.
+func (u *mutCore) allocInit() {
+	body := u.op.Pi + u.op.Delta
+	if u.initIdx <= body {
+		if !u.m.mem.IssueStore(u.id, mem.BodyStore, u.allocBase+1+object.Addr(u.initIdx), 0) {
+			u.stats.StallCycles++
+			return // retry this index next cycle
+		}
+		u.initIdx++
+		if u.initIdx <= body {
+			return // one word per cycle
+		}
+	}
+	u.regs[u.op.Reg] = u.allocBase
+	u.stats.Allocs++
+	u.complete()
+}
+
+// complete finishes the current operation and returns to the inter-op wait.
+func (u *mutCore) complete() {
+	u.stats.Ops++
+	if lat := u.m.cycle - u.opStart; lat > u.stats.MaxOpLatency {
+		u.stats.MaxOpLatency = lat
+	}
+	u.waitLeft = u.period
+	u.st = muWait
+}
+
+// CollectConcurrent runs one collection cycle with the mutator executing
+// concurrently through the machine's mutator port: driver supplies the
+// operation stream, period is the number of idle cycles between operations
+// (the mutator's "speed" relative to the 25 MHz core clock). The roots are
+// processed stop-the-world at the start, exactly as in Collect; from the
+// moment the scan loop starts, the mutator runs under the wait-until-black
+// access barrier. The returned MutatorStats describe the mutator's side.
+func (m *Machine) CollectConcurrent(driver MutDriver, period int) (Stats, MutatorStats, error) {
+	if driver == nil {
+		return Stats{}, MutatorStats{}, fmt.Errorf("machine: nil mutator driver")
+	}
+	m.mut = newMutCore(m, driver, period)
+	defer func() { m.mut = nil }()
+	st, err := m.Collect()
+	if err != nil {
+		return Stats{}, MutatorStats{}, err
+	}
+	ms := m.mut.stats
+	return st, ms, nil
+}

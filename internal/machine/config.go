@@ -1,0 +1,137 @@
+// Package machine implements the multi-core garbage collection coprocessor
+// of the paper (Sections IV and V) as a deterministic, cycle-stepped
+// simulator.
+//
+// The machine consists of N microprogrammed cores, a synchronization block
+// (internal/syncblock), a memory access scheduler (internal/mem) and an
+// on-chip header FIFO. Each simulated clock cycle the machine steps every
+// core once, in ascending core order (which realizes the SB's static
+// prioritization scheme), and then ticks the memory system. Each core is an
+// explicit state machine executing the fine-grained parallel variant of
+// Cheney's algorithm from Section IV; every cycle in which a core cannot
+// make progress is attributed to one of the stall causes reported in the
+// paper's Table II.
+package machine
+
+import "fmt"
+
+// Defaults for zero-valued Config fields. Latency and bandwidth defaults
+// mirror the prototype: the DDR-SDRAM runs at at least four times the 25 MHz
+// core clock, and the access latency is "in the range of a few clock
+// cycles".
+const (
+	DefaultCores          = 1
+	DefaultFIFOCapacity   = 32 * 1024 // the prototype's header FIFO holds up to 32k entries
+	DefaultStartupCycles  = 64        // stop main processor, flush its caches, read registers
+	DefaultShutdownCycles = 32        // drain store buffers, restart main processor
+	MaxCores              = 64
+)
+
+// Config parameterizes a coprocessor instance.
+type Config struct {
+	// Cores is the number of GC cores (the prototype supports up to 16; we
+	// allow up to MaxCores for extension experiments). Default 1 — which,
+	// because synchronization is free when uncontended, performs like the
+	// original sequential implementation of Cheney's algorithm (Section
+	// VI-B).
+	Cores int
+
+	// MemLatency is the base memory access latency in cycles (default 3).
+	MemLatency int
+	// ExtraMemLatency is added to every access; the paper's Figure 6 adds
+	// an artificial 20 cycles.
+	ExtraMemLatency int
+	// MemBandwidth is the number of memory requests accepted per core clock
+	// cycle (default 6).
+	MemBandwidth int
+	// MemStoreQueueDepth is the write-behind depth of each store port
+	// (default 2).
+	MemStoreQueueDepth int
+	// MemBanks, when positive, enables the DRAM bank model: requests to a
+	// busy bank are deferred even when bandwidth is available. Zero keeps
+	// the calibrated bandwidth/latency model.
+	MemBanks int
+	// MemBankBusy is the per-bank busy time per request (default 2).
+	MemBankBusy int
+
+	// FIFOCapacity is the number of entries in the on-chip header FIFO
+	// (default 32768, the prototype's maximum). A capacity of 0 selects the
+	// default; use 1 to effectively disable the FIFO in ablations
+	// (DisableFIFO turns it off entirely).
+	FIFOCapacity int
+	// DisableFIFO turns the header FIFO off; every gray tospace header is
+	// then read from memory inside the scan critical section.
+	DisableFIFO bool
+
+	// OptUnlockedMarkRead enables the optimization proposed in Section VI-B
+	// for javac: read the mark bit with an unlocked header load first and
+	// attempt a locking read only if the mark bit is cleared.
+	OptUnlockedMarkRead bool
+
+	// HeaderCacheLines enables the on-chip header cache proposed in the
+	// paper's conclusions (Section VII) with the given number of lines
+	// (rounded up to a power of two). Zero disables the cache.
+	HeaderCacheLines int
+
+	// StrideWords enables sub-object work distribution, the other Section
+	// VII proposal: the scan critical section dispatches at most this many
+	// body words of the object at scan instead of the whole object, so
+	// several cores can share one large object. Zero keeps the paper's
+	// object-level granularity.
+	StrideWords int
+
+	// StartupCycles and ShutdownCycles model Core 1's coordination with the
+	// main processor (Section V-E): stopping it and flushing its caches at
+	// the start, draining the GC store buffers and restarting it at the
+	// end. Negative values mean zero.
+	StartupCycles  int64
+	ShutdownCycles int64
+
+	// MaxCycles aborts the simulation with an error if a collection cycle
+	// exceeds this many clock cycles (a livelock guard for tests). Zero
+	// selects a generous bound derived from the heap size.
+	MaxCycles int64
+}
+
+// WithDefaults returns c with zero values replaced by defaults.
+func (c Config) WithDefaults() Config {
+	if c.Cores == 0 {
+		c.Cores = DefaultCores
+	}
+	if c.FIFOCapacity == 0 {
+		c.FIFOCapacity = DefaultFIFOCapacity
+	}
+	if c.StartupCycles == 0 {
+		c.StartupCycles = DefaultStartupCycles
+	}
+	if c.StartupCycles < 0 {
+		c.StartupCycles = 0
+	}
+	if c.ShutdownCycles == 0 {
+		c.ShutdownCycles = DefaultShutdownCycles
+	}
+	if c.ShutdownCycles < 0 {
+		c.ShutdownCycles = 0
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cores < 1 || c.Cores > MaxCores {
+		return fmt.Errorf("machine: Cores must be in [1,%d], got %d", MaxCores, c.Cores)
+	}
+	if c.MemLatency < 0 || c.ExtraMemLatency < 0 || c.MemBandwidth < 0 {
+		return fmt.Errorf("machine: negative memory parameter")
+	}
+	if c.FIFOCapacity < 0 {
+		return fmt.Errorf("machine: negative FIFO capacity")
+	}
+	if c.HeaderCacheLines < 0 {
+		return fmt.Errorf("machine: negative header cache size")
+	}
+	if c.StrideWords < 0 {
+		return fmt.Errorf("machine: negative stride size")
+	}
+	return nil
+}

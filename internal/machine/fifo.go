@@ -1,0 +1,82 @@
+package machine
+
+import "hwgc/internal/object"
+
+// headerFIFO is the on-chip header FIFO of Section V-D.
+//
+// In the parallel Cheney algorithm, the scan pointer can only be advanced
+// after the size of the object at scan is known, i.e. after its gray
+// tospace header has been read — so these header reads sit inside the scan
+// critical section and can become a bottleneck. Because gray tospace headers
+// are read in exactly the same order as they are written, the coprocessor
+// buffers them in a FIFO: as long as the number of gray objects does not
+// exceed its capacity, no memory accesses are required to read them.
+//
+// On overflow an entry is simply not buffered (it is still stored to memory
+// by the evacuating core). Entries are tagged with their tospace frame
+// address: a pop only hits when the head entry's address matches the scan
+// pointer, so dropped entries naturally turn into FIFO misses that fall back
+// to a memory header load.
+type headerFIFO struct {
+	cap      int
+	entries  []fifoEntry
+	head     int
+	disabled bool
+
+	hits     int64
+	misses   int64
+	drops    int64
+	maxDepth int
+}
+
+type fifoEntry struct {
+	addr object.Addr
+	hdr  object.Word
+}
+
+func newHeaderFIFO(capacity int, disabled bool) *headerFIFO {
+	return &headerFIFO{cap: capacity, disabled: disabled}
+}
+
+// Reset empties the FIFO and its statistics for a new collection cycle.
+func (f *headerFIFO) Reset() {
+	f.entries = f.entries[:0]
+	f.head = 0
+	f.hits, f.misses, f.drops, f.maxDepth = 0, 0, 0, 0
+}
+
+// Len returns the number of buffered entries.
+func (f *headerFIFO) Len() int { return len(f.entries) - f.head }
+
+// Push buffers the gray header written to the tospace frame at addr. It
+// reports whether the entry was dropped because the FIFO was full or
+// disabled.
+func (f *headerFIFO) Push(addr object.Addr, hdr object.Word) (dropped bool) {
+	if f.disabled || f.Len() >= f.cap {
+		f.drops++
+		return true
+	}
+	f.entries = append(f.entries, fifoEntry{addr, hdr})
+	if d := f.Len(); d > f.maxDepth {
+		f.maxDepth = d
+	}
+	return false
+}
+
+// PopIf pops and returns the head entry when its tag matches addr (a FIFO
+// hit). Otherwise it reports a miss and the caller must load the header from
+// memory.
+func (f *headerFIFO) PopIf(addr object.Addr) (object.Word, bool) {
+	if f.Len() > 0 && f.entries[f.head].addr == addr {
+		hdr := f.entries[f.head].hdr
+		f.head++
+		if f.head == len(f.entries) { // reclaim storage when drained
+			f.entries = f.entries[:0]
+			f.head = 0
+		}
+		f.hits++
+		return hdr, true
+	}
+	f.misses++
+	return 0, false
+}

@@ -1,0 +1,98 @@
+package machine
+
+import "testing"
+
+func TestFIFOOrderAndHits(t *testing.T) {
+	f := newHeaderFIFO(4, false)
+	for i := 1; i <= 3; i++ {
+		if f.Push(uint32(i*10), uint64(i)) {
+			t.Fatalf("push %d dropped below capacity", i)
+		}
+	}
+	if f.Len() != 3 || f.maxDepth != 3 {
+		t.Fatalf("len=%d maxDepth=%d", f.Len(), f.maxDepth)
+	}
+	for i := 1; i <= 3; i++ {
+		hdr, ok := f.PopIf(uint32(i * 10))
+		if !ok || hdr != uint64(i) {
+			t.Fatalf("pop %d: ok=%v hdr=%d", i, ok, hdr)
+		}
+	}
+	if f.hits != 3 || f.Len() != 0 {
+		t.Fatalf("hits=%d len=%d", f.hits, f.Len())
+	}
+}
+
+func TestFIFOMismatchIsMiss(t *testing.T) {
+	f := newHeaderFIFO(4, false)
+	f.Push(10, 1)
+	if _, ok := f.PopIf(20); ok {
+		t.Fatal("mismatched pop hit")
+	}
+	if f.misses != 1 || f.Len() != 1 {
+		t.Fatalf("miss not recorded; len=%d", f.Len())
+	}
+	// The head entry stays for its real consumer.
+	if hdr, ok := f.PopIf(10); !ok || hdr != 1 {
+		t.Fatal("entry lost after miss")
+	}
+}
+
+func TestFIFODropOnFull(t *testing.T) {
+	f := newHeaderFIFO(2, false)
+	f.Push(10, 1)
+	f.Push(20, 2)
+	if !f.Push(30, 3) {
+		t.Fatal("push above capacity not dropped")
+	}
+	if f.drops != 1 {
+		t.Fatalf("drops=%d", f.drops)
+	}
+	// Consumption order: 10 hit, 20 hit, 30 miss (dropped).
+	if _, ok := f.PopIf(10); !ok {
+		t.Fatal("10 lost")
+	}
+	if _, ok := f.PopIf(20); !ok {
+		t.Fatal("20 lost")
+	}
+	if _, ok := f.PopIf(30); ok {
+		t.Fatal("dropped entry resurfaced")
+	}
+}
+
+func TestFIFODisabled(t *testing.T) {
+	f := newHeaderFIFO(8, true)
+	if !f.Push(10, 1) {
+		t.Fatal("disabled FIFO accepted a push")
+	}
+	if _, ok := f.PopIf(10); ok {
+		t.Fatal("disabled FIFO produced a hit")
+	}
+}
+
+func TestFIFOReset(t *testing.T) {
+	f := newHeaderFIFO(4, false)
+	f.Push(10, 1)
+	f.PopIf(99)
+	f.Reset()
+	if f.Len() != 0 || f.hits != 0 || f.misses != 0 || f.drops != 0 || f.maxDepth != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestFIFOStorageReclaim(t *testing.T) {
+	f := newHeaderFIFO(1024, false)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			f.Push(uint32(1000*round+i), 1)
+		}
+		for i := 0; i < 100; i++ {
+			if _, ok := f.PopIf(uint32(1000*round + i)); !ok {
+				t.Fatal("lost entry")
+			}
+		}
+		if len(f.entries) != 0 || f.head != 0 {
+			t.Fatalf("storage not reclaimed after drain: len=%d head=%d", len(f.entries), f.head)
+		}
+	}
+}

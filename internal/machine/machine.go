@@ -1,0 +1,274 @@
+package machine
+
+import (
+	"fmt"
+
+	"hwgc/internal/heap"
+	"hwgc/internal/mem"
+	"hwgc/internal/object"
+	"hwgc/internal/syncblock"
+)
+
+// Machine is one instance of the multi-core GC coprocessor attached to a
+// heap. A Machine is reusable: each call to Collect runs one complete
+// garbage collection cycle (the coprocessor stops the main processor for the
+// whole cycle, Section V-B).
+type Machine struct {
+	cfg  Config
+	heap *heap.Heap
+	mem  *mem.Memory
+	sb   *syncblock.SB
+	fifo *headerFIFO
+	hc   *headerCache
+
+	// Scan-state registers for stride mode (guarded by the scan lock).
+	strides        *strideTable
+	scanFrameValid bool
+	scanFrameHdr   object.Word
+	scanOff        int
+
+	// Concurrent-mode mutator port (nil in stop-the-world mode).
+	mut        *mutCore
+	mutStarted bool
+
+	cores         []*core
+	cycle         int64
+	fifoDrops     int64
+	toLimit       object.Addr
+	emptyObserved bool // some core sought work this cycle and found scan == free
+	err           error
+
+	// Probe, when non-nil, is invoked after every simulated clock cycle;
+	// the monitoring framework (internal/trace) uses it to sample signals.
+	Probe func(cycle int64, m *Machine)
+}
+
+// New creates a coprocessor over h.
+func New(h *heap.Heap, cfg Config) (*Machine, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:  cfg,
+		heap: h,
+		mem: mem.New(h.Mem(), mem.Config{
+			Latency:         cfg.MemLatency,
+			ExtraLatency:    cfg.ExtraMemLatency,
+			Bandwidth:       cfg.MemBandwidth,
+			StoreQueueDepth: cfg.MemStoreQueueDepth,
+			Banks:           cfg.MemBanks,
+			BankBusy:        cfg.MemBankBusy,
+		}),
+		sb:   syncblock.New(cfg.Cores),
+		fifo: newHeaderFIFO(cfg.FIFOCapacity, cfg.DisableFIFO),
+		hc:   newHeaderCache(cfg.HeaderCacheLines),
+	}
+	if cfg.StrideWords > 0 {
+		m.strides = newStrideTable(cfg.Cores)
+	}
+	return m, nil
+}
+
+// Config returns the machine's effective configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// SB exposes the synchronization block (tests and tracing).
+func (m *Machine) SB() *syncblock.SB { return m.sb }
+
+// Mem exposes the memory scheduler (tests and tracing).
+func (m *Machine) Mem() *mem.Memory { return m.mem }
+
+// FIFODepth returns the current header FIFO occupancy (tracing).
+func (m *Machine) FIFODepth() int { return m.fifo.Len() }
+
+// Cycle returns the current clock cycle of the running collection.
+func (m *Machine) Cycle() int64 { return m.cycle }
+
+// CoreState returns a short description of core i's state (tracing).
+func (m *Machine) CoreState(i int) string { return coreStateName(m.cores[i].st) }
+
+// fail records a fatal simulation error; the cycle loop aborts on the next
+// iteration.
+func (m *Machine) failf(format string, args ...any) {
+	if m.err == nil {
+		m.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Collect runs one complete garbage collection cycle and returns its
+// statistics. On success the heap has been flipped: the surviving objects
+// sit compacted at the bottom of the new current space and the roots point
+// at them.
+func (m *Machine) Collect() (Stats, error) {
+	h := m.heap
+	to := h.OtherSpace()
+	base := h.Base(to)
+	limit := h.Limit(to)
+
+	m.sb.Reset(base, base)
+	ports := m.cfg.Cores
+	if m.mut != nil {
+		ports++ // the concurrent mutator uses its own set of memory ports
+	}
+	m.mem.AttachCores(ports)
+	m.mutStarted = false
+	m.fifo.Reset()
+	m.hc.Reset()
+	if m.strides != nil {
+		m.strides.Reset()
+	}
+	m.scanFrameValid = false
+	m.scanFrameHdr = 0
+	m.scanOff = 0
+	m.toLimit = limit
+	m.fifoDrops = 0
+	m.cycle = 0
+	m.err = nil
+
+	m.cores = make([]*core, m.cfg.Cores)
+	for i := range m.cores {
+		c := &core{id: i, m: m, st: sIdle}
+		if i == 0 {
+			if m.cfg.StartupCycles > 0 {
+				c.st = sStartup
+				c.startupLeft = m.cfg.StartupCycles
+			} else {
+				c.st = sRoots
+				c.inRoots = true
+			}
+		}
+		m.cores[i] = c
+	}
+
+	maxCycles := m.cfg.MaxCycles
+	if maxCycles <= 0 {
+		// Generous livelock guard: even fully serialized, a collection
+		// processes at most one word per a few dozen cycles.
+		maxCycles = 1_000_000 + 200*int64(h.SemiWords())
+	}
+
+	var scanStart int64 = -1
+	var emptyCycles int64
+	var scanEnd int64 = -1
+
+	for {
+		m.cycle++
+		if m.cycle > maxCycles {
+			return Stats{}, fmt.Errorf("machine: collection exceeded %d cycles (livelock?)", maxCycles)
+		}
+		m.emptyObserved = false
+		// The mutator port steps before the GC cores so that any frame it
+		// publishes this cycle is visible to the termination check, and it
+		// only starts once Core 1 has forwarded the roots (the brief
+		// stop-the-world window at the start of the cycle).
+		if m.mut != nil && m.mutStarted {
+			m.mut.step(scanEnd >= 0)
+			if m.err != nil {
+				return Stats{}, m.err
+			}
+		}
+		for _, c := range m.cores {
+			c.step()
+		}
+		if m.err != nil {
+			return Stats{}, m.err
+		}
+		if scanStart < 0 && !m.cores[0].inRoots && m.cores[0].st != sStartup && m.cores[0].st != sRoots {
+			scanStart = m.cycle
+			m.mutStarted = true
+		}
+		if scanEnd < 0 && m.emptyObserved {
+			emptyCycles++
+		}
+		m.mem.Tick()
+
+		if scanEnd < 0 && m.allDone() {
+			scanEnd = m.cycle
+		}
+		if scanEnd >= 0 && m.mem.Drained() && (m.mut == nil || m.mut.idle()) {
+			break
+		}
+		if m.Probe != nil {
+			m.Probe(m.cycle, m)
+		}
+	}
+
+	finalFree := m.sb.Free()
+	if finalFree > limit {
+		return Stats{}, fmt.Errorf("machine: free pointer %d overran tospace limit %d", finalFree, limit)
+	}
+
+	st := Stats{
+		Cycles:              m.cycle + m.cfg.ShutdownCycles,
+		EmptyWorklistCycles: emptyCycles,
+		PerCore:             make([]CoreStats, m.cfg.Cores),
+		FIFODrops:           m.fifoDrops,
+		FIFOMaxDepth:        m.fifo.maxDepth,
+		HeaderCacheHits:     m.hc.hits,
+		HeaderCacheMisses:   m.hc.misses,
+		FinalFree:           finalFree,
+		LiveWords:           int64(finalFree - base),
+		Mem:                 m.mem.Stats(),
+		Sync:                m.sb.Stats(),
+		Config:              m.cfg,
+	}
+	if scanStart >= 0 && scanEnd >= scanStart {
+		st.ScanCycles = scanEnd - scanStart
+	}
+	for i, c := range m.cores {
+		st.PerCore[i] = c.stats
+		st.LiveObjects += c.stats.ObjectsScanned
+	}
+
+	h.FinishCycle(finalFree)
+	return st, nil
+}
+
+// allDone reports whether every core has detected termination.
+func (m *Machine) allDone() bool {
+	for _, c := range m.cores {
+		if c.st != sDone {
+			return false
+		}
+	}
+	return true
+}
+
+// coreStateName maps micro-states to short names for traces.
+func coreStateName(s coreState) string {
+	switch s {
+	case sIdle:
+		return "idle"
+	case sStartup:
+		return "startup"
+	case sRoots:
+		return "roots"
+	case sGrabScan:
+		return "grab-scan"
+	case sScanHdrIssue, sScanHdrWait:
+		return "scan-hdr"
+	case sPtrLoad, sPtrLoadWait:
+		return "ptr-load"
+	case sChildPeekIssue, sChildPeekWait:
+		return "peek"
+	case sChildLock:
+		return "hdr-lock"
+	case sChildHdrIssue, sChildHdrWait:
+		return "child-hdr"
+	case sFreeAcquire:
+		return "free-lock"
+	case sEvacGrayStore, sEvacFwdStore:
+		return "evacuate"
+	case sPtrStore:
+		return "ptr-store"
+	case sDataLoad, sDataWait, sDataStore:
+		return "copy-data"
+	case sBlacken:
+		return "blacken"
+	case sDone:
+		return "done"
+	default:
+		return "?"
+	}
+}

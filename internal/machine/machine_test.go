@@ -1,0 +1,85 @@
+package machine
+
+import (
+	"testing"
+
+	"hwgc/internal/gcalgo"
+	"hwgc/internal/workload"
+)
+
+// collectAndVerify runs one simulated collection on a fresh heap built from
+// the named benchmark and checks it against the reference oracle.
+func collectAndVerify(t *testing.T, bench string, cfg Config) Stats {
+	t.Helper()
+	spec, err := workload.Get(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := spec.Plan(1, 42)
+	h, err := plan.BuildHeap(2.0)
+	if err != nil {
+		t.Fatalf("building heap: %v", err)
+	}
+	before, err := gcalgo.Snapshot(h)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	m, err := New(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Collect()
+	if err != nil {
+		t.Fatalf("collect(%s, %d cores): %v", bench, cfg.Cores, err)
+	}
+	if err := gcalgo.VerifyCollection(before, h); err != nil {
+		t.Fatalf("verify(%s, %d cores): %v", bench, cfg.Cores, err)
+	}
+	liveObj, liveWords := plan.LiveStats()
+	if st.LiveObjects != int64(liveObj) {
+		t.Errorf("%s: live objects = %d, plan says %d", bench, st.LiveObjects, liveObj)
+	}
+	if st.LiveWords != int64(liveWords) {
+		t.Errorf("%s: live words = %d, plan says %d", bench, st.LiveWords, liveWords)
+	}
+	return st
+}
+
+func TestCollectAllBenchmarksAllCores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark × core matrix is slow")
+	}
+	for _, name := range workload.Names() {
+		for _, cores := range []int{1, 2, 4, 8, 16} {
+			name, cores := name, cores
+			t.Run(name+"/"+itoa(cores), func(t *testing.T) {
+				collectAndVerify(t, name, Config{Cores: cores})
+			})
+		}
+	}
+}
+
+func TestCollectSmoke(t *testing.T) {
+	st := collectAndVerify(t, "jlisp", Config{Cores: 4})
+	if st.Cycles <= 0 {
+		t.Fatalf("no cycles recorded")
+	}
+	sum := st.Sum()
+	if sum.ObjectsScanned != sum.ObjectsEvacuated {
+		t.Errorf("scanned %d != evacuated %d", sum.ObjectsScanned, sum.ObjectsEvacuated)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

@@ -1,0 +1,127 @@
+package machine
+
+import (
+	"hwgc/internal/mem"
+	"hwgc/internal/object"
+	"hwgc/internal/syncblock"
+)
+
+// CoreStats holds the per-core performance counters corresponding to the
+// stall causes of the paper's Table II, plus work counters.
+type CoreStats struct {
+	// Stall cycles by cause (Table II columns).
+	ScanLockStall    int64
+	FreeLockStall    int64
+	HeaderLockStall  int64
+	BodyLoadStall    int64
+	BodyStoreStall   int64
+	HeaderLoadStall  int64
+	HeaderStoreStall int64
+
+	// Work counters.
+	ObjectsScanned   int64 // objects this core blackened
+	ObjectsEvacuated int64 // objects this core copied out of fromspace
+	Strides          int64 // work units dispatched to this core (stride mode)
+	StrideTableStall int64 // cycles stalled on a full stride completion table
+	PointersSeen     int64 // pointer slots processed (including nil)
+	WordsCopied      int64 // body words copied
+	FIFOHits         int64
+	FIFOMisses       int64
+}
+
+// StallTotal returns the sum of all stall cycles.
+func (c CoreStats) StallTotal() int64 {
+	return c.ScanLockStall + c.FreeLockStall + c.HeaderLockStall +
+		c.BodyLoadStall + c.BodyStoreStall + c.HeaderLoadStall + c.HeaderStoreStall
+}
+
+// Stats describes one simulated collection cycle.
+type Stats struct {
+	// Cycles is the duration of the collection cycle in clock cycles,
+	// including the startup and shutdown coordination with the main
+	// processor. This is the quantity the paper's speedups are computed
+	// from.
+	Cycles int64
+	// ScanCycles is the duration of the parallel scan phase only (after
+	// root evacuation, before drain).
+	ScanCycles int64
+	// EmptyWorklistCycles counts the cycles during which a core seeking
+	// work found scan == free, i.e. no gray objects were available for
+	// processing (the paper's Table I metric). Cycles where every core is
+	// busy scanning are not counted even if the work list is momentarily
+	// drained, since no core experiences the emptiness.
+	EmptyWorklistCycles int64
+
+	// Per-core counters; index 0 is Core 1 of the paper.
+	PerCore []CoreStats
+
+	// FIFO behaviour.
+	FIFODrops    int64
+	FIFOMaxDepth int
+
+	// Header cache behaviour (Section VII extension; zero when disabled).
+	HeaderCacheHits   int64
+	HeaderCacheMisses int64
+
+	// Collection outcome.
+	LiveObjects int64
+	LiveWords   int64
+	FinalFree   object.Addr
+
+	// Subsystem counters.
+	Mem  mem.Stats
+	Sync syncblock.Stats
+
+	Config Config
+}
+
+// Sum aggregates the per-core counters.
+func (s *Stats) Sum() CoreStats {
+	var t CoreStats
+	for _, c := range s.PerCore {
+		t.ScanLockStall += c.ScanLockStall
+		t.FreeLockStall += c.FreeLockStall
+		t.HeaderLockStall += c.HeaderLockStall
+		t.BodyLoadStall += c.BodyLoadStall
+		t.BodyStoreStall += c.BodyStoreStall
+		t.HeaderLoadStall += c.HeaderLoadStall
+		t.HeaderStoreStall += c.HeaderStoreStall
+		t.ObjectsScanned += c.ObjectsScanned
+		t.ObjectsEvacuated += c.ObjectsEvacuated
+		t.Strides += c.Strides
+		t.StrideTableStall += c.StrideTableStall
+		t.PointersSeen += c.PointersSeen
+		t.WordsCopied += c.WordsCopied
+		t.FIFOHits += c.FIFOHits
+		t.FIFOMisses += c.FIFOMisses
+	}
+	return t
+}
+
+// Mean returns the per-core mean of the aggregated counters, matching the
+// paper's Table II, which lists the mean number of stall cycles per core.
+func (s *Stats) Mean() CoreStats {
+	t := s.Sum()
+	n := int64(len(s.PerCore))
+	if n == 0 {
+		return t
+	}
+	t.ScanLockStall /= n
+	t.FreeLockStall /= n
+	t.HeaderLockStall /= n
+	t.BodyLoadStall /= n
+	t.BodyStoreStall /= n
+	t.HeaderLoadStall /= n
+	t.HeaderStoreStall /= n
+	return t
+}
+
+// EmptyWorklistFraction returns the Table I metric: the fraction of clock
+// cycles (relative to the total collection cycle, as in the paper) during
+// which the work list was empty.
+func (s *Stats) EmptyWorklistFraction() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.EmptyWorklistCycles) / float64(s.Cycles)
+}

@@ -1,0 +1,101 @@
+package machine
+
+import "hwgc/internal/object"
+
+// strideTable is the on-chip bookkeeping for sub-object (stride) work
+// distribution — the second improvement proposed in the paper's conclusions
+// (Section VII): "distribute work at a finer granularity than object-level
+// granularity, e.g. at the granularity of cache lines".
+//
+// With strides enabled, the unit of work popped under the scan lock is a
+// bounded range of body words of the object at scan rather than the whole
+// object. Scanning a large object is thereby shared by several cores, which
+// restores scalability on workloads whose object-level parallelism is
+// limited by a few big objects (the compress pattern).
+//
+// The table tracks, per object frame with outstanding strides, how many
+// strides are still being processed and whether the final stride has been
+// dispatched; the core that completes the last stride blackens the object.
+// At most one stride per core is in process, so the number of live entries
+// is bounded by the core count; the table is dimensioned at twice that and
+// dispatching stalls (holding the scan lock) when it is full, exactly as a
+// full hardware CAM would.
+type strideTable struct {
+	entries []strideEntry
+}
+
+type strideEntry struct {
+	used        bool
+	objTo       object.Addr
+	attrs       object.Word
+	outstanding int
+	final       bool
+}
+
+func newStrideTable(cores int) *strideTable {
+	return &strideTable{entries: make([]strideEntry, 2*cores)}
+}
+
+// Reset clears the table for a new collection cycle.
+func (t *strideTable) Reset() {
+	for i := range t.entries {
+		t.entries[i] = strideEntry{}
+	}
+}
+
+// Live returns the number of occupied entries (tracing and tests).
+func (t *strideTable) Live() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].used {
+			n++
+		}
+	}
+	return n
+}
+
+// Dispatch registers one stride of the object frame at objTo. final marks
+// the object's last stride. It reports false when the table is full and the
+// dispatching core must stall.
+func (t *strideTable) Dispatch(objTo object.Addr, attrs object.Word, final bool) bool {
+	free := -1
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.used && e.objTo == objTo {
+			e.outstanding++
+			if final {
+				e.final = true
+			}
+			return true
+		}
+		if !e.used && free < 0 {
+			free = i
+		}
+	}
+	if free < 0 {
+		return false
+	}
+	t.entries[free] = strideEntry{used: true, objTo: objTo, attrs: attrs, outstanding: 1, final: final}
+	return true
+}
+
+// Complete retires one stride of the frame at objTo and reports whether it
+// was the object's last outstanding stride (the caller then blackens the
+// object).
+func (t *strideTable) Complete(objTo object.Addr) bool {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.used && e.objTo == objTo {
+			e.outstanding--
+			if e.final && e.outstanding == 0 {
+				*e = strideEntry{}
+				return true
+			}
+			if e.outstanding < 0 {
+				panic("machine: stride completion underflow")
+			}
+			return false
+		}
+	}
+	panic("machine: stride completion for unknown frame")
+}

@@ -1,0 +1,90 @@
+package machine
+
+import "testing"
+
+func TestStrideTableDispatchComplete(t *testing.T) {
+	st := newStrideTable(2) // 4 entries
+	if !st.Dispatch(100, 7, false) || !st.Dispatch(100, 7, false) {
+		t.Fatal("dispatch failed")
+	}
+	if st.Live() != 1 {
+		t.Fatalf("live = %d", st.Live())
+	}
+	if st.Complete(100) {
+		t.Fatal("completion before final dispatch reported last")
+	}
+	if !st.Dispatch(100, 7, true) {
+		t.Fatal("final dispatch failed")
+	}
+	if st.Complete(100) {
+		t.Fatal("one stride still outstanding")
+	}
+	if !st.Complete(100) {
+		t.Fatal("last completion not reported")
+	}
+	if st.Live() != 0 {
+		t.Fatal("entry not freed")
+	}
+}
+
+func TestStrideTableFull(t *testing.T) {
+	st := newStrideTable(1) // 2 entries
+	if !st.Dispatch(1, 0, false) || !st.Dispatch(2, 0, false) {
+		t.Fatal("fills failed")
+	}
+	if st.Dispatch(3, 0, false) {
+		t.Fatal("overfull dispatch accepted")
+	}
+	// Existing frames still accept more strides.
+	if !st.Dispatch(1, 0, true) {
+		t.Fatal("existing frame refused")
+	}
+	st.Complete(1)
+	if st.Complete(1) != true {
+		t.Fatal("frame 1 should drain")
+	}
+	if !st.Dispatch(3, 0, true) {
+		t.Fatal("freed slot not reusable")
+	}
+}
+
+func TestStrideTablePanicsOnUnknownFrame(t *testing.T) {
+	st := newStrideTable(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown completion did not panic")
+		}
+	}()
+	st.Complete(42)
+}
+
+func TestStrideTableReset(t *testing.T) {
+	st := newStrideTable(1)
+	st.Dispatch(1, 0, false)
+	st.Reset()
+	if st.Live() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+// TestStrideSingleCore: strides must also be correct (if pointless) on one
+// core, including zero-body objects.
+func TestStrideSingleCore(t *testing.T) {
+	collectAndVerify(t, "jlisp", Config{Cores: 1, StrideWords: 2})
+	collectAndVerify(t, "blob", Config{Cores: 1, StrideWords: 64})
+}
+
+// TestStrideCountsConsistent: the dispatched stride count must cover every
+// body word exactly once.
+func TestStrideCountsConsistent(t *testing.T) {
+	st := collectAndVerify(t, "blob", Config{Cores: 16, StrideWords: 64})
+	sum := st.Sum()
+	if sum.Strides < sum.ObjectsScanned {
+		t.Fatalf("fewer strides (%d) than objects (%d)", sum.Strides, sum.ObjectsScanned)
+	}
+	// Body words copied must equal live body words regardless of striding.
+	if st.LiveWords != sum.WordsCopied+2*st.LiveObjects {
+		t.Fatalf("stride mode lost words: live %d, copied %d, objects %d",
+			st.LiveWords, sum.WordsCopied, st.LiveObjects)
+	}
+}

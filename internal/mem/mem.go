@@ -1,0 +1,502 @@
+// Package mem models the coprocessor's memory interface and memory access
+// scheduler (paper Section V-D).
+//
+// Each core owns four single-entry buffers for asynchronous memory accesses,
+// one per port: header load, header store, body load, and body store. A core
+// may initiate a transfer at any time and only stalls when it
+//
+//   - tries to write to a store buffer while the previous store has not yet
+//     been accepted by the memory controller, or
+//   - tries to read from a load buffer while the corresponding load has not
+//     completed.
+//
+// Transfers are handled asynchronously with a split-transaction scheme: the
+// controller accepts up to Bandwidth requests per core clock cycle (the
+// prototype's DDR-SDRAM runs at at least four times the core clock), and a
+// request completes Latency cycles after acceptance.
+//
+// Ordering is enforced only where the algorithm requires it: a header load
+// is delayed while a header store to the same location is pending (the
+// prototype's comparator array). Body accesses need no ordering because each
+// body word is written and read exactly once per collection cycle; the
+// scheduler only guarantees that all buffers are flushed at the end of a GC
+// cycle (Drained).
+package mem
+
+import (
+	"fmt"
+
+	"hwgc/internal/object"
+)
+
+// Port identifies one of the four per-core memory ports.
+type Port int
+
+// The four ports of paper Section V-D.
+const (
+	HeaderLoad Port = iota
+	HeaderStore
+	BodyLoad
+	BodyStore
+	numPorts
+)
+
+// String returns the conventional name of the port.
+func (p Port) String() string {
+	switch p {
+	case HeaderLoad:
+		return "header-load"
+	case HeaderStore:
+		return "header-store"
+	case BodyLoad:
+		return "body-load"
+	case BodyStore:
+		return "body-store"
+	default:
+		return fmt.Sprintf("port(%d)", int(p))
+	}
+}
+
+// IsLoad reports whether the port is a load port.
+func (p Port) IsLoad() bool { return p == HeaderLoad || p == BodyLoad }
+
+// IsHeader reports whether the port carries header traffic.
+func (p Port) IsHeader() bool { return p == HeaderLoad || p == HeaderStore }
+
+// Config parameterizes the memory model.
+type Config struct {
+	// Latency is the number of cycles between acceptance of a request and
+	// its completion. The prototype's latency is "in the range of a few
+	// clock cycles"; the default is 3.
+	Latency int
+	// ExtraLatency is added to Latency; it models the paper's Figure 6
+	// experiment, which adds an artificial 20 cycles to each access.
+	ExtraLatency int
+	// Bandwidth is the number of requests the controller accepts per core
+	// clock cycle. The prototype's DDR-SDRAM runs at at least four times the
+	// 25 MHz core clock and transfers two words per memory clock, so several
+	// words arrive per core cycle; the default is 6, which calibrates the
+	// simulator's 16-core scaling to the paper's measured ×12.1.
+	Bandwidth int
+	// StoreQueueDepth is the number of stores a store port can hold before
+	// the core stalls on issue. Loads always allow a single outstanding
+	// request per port (the core needs the data before it can continue),
+	// but stores are write-behind: the prototype's cores only stall on a
+	// store "while the previous store is not complete", where completion
+	// means hand-off to the split-transaction controller. Default 2.
+	StoreQueueDepth int
+
+	// Banks, when positive, enables a DRAM bank model: the address space is
+	// interleaved over Banks banks at BankInterleave-word granularity, and
+	// after accepting a request a bank is busy for BankBusy cycles. Requests
+	// to a busy bank are skipped by the arbiter (and counted as bank
+	// conflicts) even when global bandwidth is available. Zero disables the
+	// model, leaving the pure bandwidth/latency scheduler of the paper's
+	// calibration.
+	Banks          int
+	BankBusy       int
+	BankInterleave int
+}
+
+// Defaults for zero-valued Config fields.
+const (
+	DefaultLatency         = 3
+	DefaultBandwidth       = 6
+	DefaultStoreQueueDepth = 2
+	DefaultBankBusy        = 2
+	DefaultBankInterleave  = 8
+)
+
+func (c Config) withDefaults() Config {
+	if c.Latency <= 0 {
+		c.Latency = DefaultLatency
+	}
+	if c.Bandwidth <= 0 {
+		c.Bandwidth = DefaultBandwidth
+	}
+	if c.ExtraLatency < 0 {
+		c.ExtraLatency = 0
+	}
+	if c.StoreQueueDepth <= 0 {
+		c.StoreQueueDepth = DefaultStoreQueueDepth
+	}
+	if c.Banks > 0 {
+		if c.BankBusy <= 0 {
+			c.BankBusy = DefaultBankBusy
+		}
+		if c.BankInterleave <= 0 {
+			c.BankInterleave = DefaultBankInterleave
+		}
+	}
+	return c
+}
+
+// buffer is one single-entry per-core per-port buffer.
+type buffer struct {
+	valid    bool // request present (issued by the core)
+	accepted bool // accepted by the controller (loads only; stores free on acceptance)
+	ready    bool // load data available
+	addr     object.Addr
+	data     object.Word
+	doneAt   int64
+}
+
+// inflightStore is a store that has been accepted but not yet committed; it
+// is tracked so the comparator array can delay same-address header loads.
+type inflightStore struct {
+	addr   object.Addr
+	data   object.Word
+	header bool
+	doneAt int64
+}
+
+// Stats holds the memory system's performance counters.
+type Stats struct {
+	Accepted      [int(numPorts)]int64 // requests accepted, per port
+	BusyCycles    int64                // cycles with at least one acceptance
+	SaturatedCyc  int64                // cycles where Bandwidth requests were accepted
+	OrderDelays   int64                // header loads delayed by the comparator array
+	BankConflicts int64                // acceptances deferred by a busy DRAM bank
+	PeakPending   int                  // maximum simultaneously pending requests
+	RejectedByBW  int64                // request-cycles denied purely by bandwidth
+	TotalRequests int64
+}
+
+// Memory is the simulated memory plus its access scheduler. It is not safe
+// for concurrent use; the cycle-stepped machine drives it from one
+// goroutine. The software baseline collectors bypass the timing model
+// entirely and operate on the backing slice directly.
+type Memory struct {
+	data       []object.Word
+	lat        int64
+	bw         int
+	sqDepth    int
+	banks      int
+	bankBusy   int64
+	interleave int
+	busyUntil  []int64
+	cycle      int64
+	bufs       [][numPorts]buffer // load ports only
+	storeQ     [][2][]storeReq    // store ports: [0]=HeaderStore, [1]=BodyStore
+	inflight   []inflightStore
+	rr         int   // round-robin arbitration pointer
+	seq        int64 // store issue sequence numbers
+	stats      Stats
+}
+
+// storeReq is a store waiting in a core's store-port queue for acceptance.
+// seq is a global issue sequence number used by the comparator array to keep
+// same-address header stores in issue order.
+type storeReq struct {
+	addr object.Addr
+	data object.Word
+	seq  int64
+}
+
+// storeIdx maps a store port to its queue index.
+func storeIdx(p Port) int {
+	if p == HeaderStore {
+		return 0
+	}
+	return 1
+}
+
+// New creates a memory model over the given backing store. The slice is
+// shared: untimed writers (the mutator, the workload generators) and the
+// timed scheduler see the same words.
+func New(data []object.Word, cfg Config) *Memory {
+	cfg = cfg.withDefaults()
+	m := &Memory{
+		data:       data,
+		lat:        int64(cfg.Latency + cfg.ExtraLatency),
+		bw:         cfg.Bandwidth,
+		sqDepth:    cfg.StoreQueueDepth,
+		banks:      cfg.Banks,
+		bankBusy:   int64(cfg.BankBusy),
+		interleave: cfg.BankInterleave,
+	}
+	if m.banks > 0 {
+		m.busyUntil = make([]int64, m.banks)
+	}
+	return m
+}
+
+// bankOf maps an address to its DRAM bank.
+func (m *Memory) bankOf(a object.Addr) int {
+	return int(a) / m.interleave % m.banks
+}
+
+// bankReady reports whether the bank holding a can accept a request now,
+// and marks it busy when claim is set.
+func (m *Memory) bankReady(a object.Addr, claim bool) bool {
+	if m.banks <= 0 {
+		return true
+	}
+	b := m.bankOf(a)
+	if m.busyUntil[b] > m.cycle {
+		m.stats.BankConflicts++
+		return false
+	}
+	if claim {
+		m.busyUntil[b] = m.cycle + m.bankBusy
+	}
+	return true
+}
+
+// AttachCores sizes the per-core buffer array for n cores and clears all
+// buffers. It must be called before the first Tick of a collection cycle.
+func (m *Memory) AttachCores(n int) {
+	m.bufs = make([][numPorts]buffer, n)
+	m.storeQ = make([][2][]storeReq, n)
+	m.inflight = m.inflight[:0]
+	m.rr = 0
+}
+
+// Size returns the number of words of backing store.
+func (m *Memory) Size() int { return len(m.data) }
+
+// Data exposes the backing store for untimed access.
+func (m *Memory) Data() []object.Word { return m.data }
+
+// Read performs an untimed read (mutator / verification side).
+func (m *Memory) Read(a object.Addr) object.Word { return m.data[a] }
+
+// Write performs an untimed write (mutator / verification side).
+func (m *Memory) Write(a object.Addr, w object.Word) { m.data[a] = w }
+
+// Stats returns a copy of the performance counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// Cycle returns the current scheduler cycle.
+func (m *Memory) Cycle() int64 { return m.cycle }
+
+// IssueLoad initiates a load on the given core/port. It reports false if the
+// port's buffer is busy (the core must stall and retry next cycle).
+func (m *Memory) IssueLoad(core int, port Port, addr object.Addr) bool {
+	if !port.IsLoad() {
+		panic("mem: IssueLoad on store port " + port.String())
+	}
+	b := &m.bufs[core][port]
+	if b.valid {
+		return false
+	}
+	*b = buffer{valid: true, addr: addr}
+	m.stats.TotalRequests++
+	return true
+}
+
+// LoadReady reports whether the load previously issued on core/port has
+// completed and its data may be taken.
+func (m *Memory) LoadReady(core int, port Port) bool {
+	b := &m.bufs[core][port]
+	return b.valid && b.ready
+}
+
+// TakeLoad consumes a completed load and frees the buffer.
+func (m *Memory) TakeLoad(core int, port Port) object.Word {
+	b := &m.bufs[core][port]
+	if !b.valid || !b.ready {
+		panic("mem: TakeLoad before completion on " + port.String())
+	}
+	w := b.data
+	*b = buffer{}
+	return w
+}
+
+// IssueStore initiates a store on the given core/port. It reports false if
+// the port's write-behind queue is full (the core must stall and retry next
+// cycle).
+func (m *Memory) IssueStore(core int, port Port, addr object.Addr, w object.Word) bool {
+	if port.IsLoad() {
+		panic("mem: IssueStore on load port " + port.String())
+	}
+	q := &m.storeQ[core][storeIdx(port)]
+	if len(*q) >= m.sqDepth {
+		return false
+	}
+	m.seq++
+	*q = append(*q, storeReq{addr, w, m.seq})
+	m.stats.TotalRequests++
+	return true
+}
+
+// StoreBufferFree reports whether a new store can be issued on core/port
+// without stalling.
+func (m *Memory) StoreBufferFree(core int, port Port) bool {
+	return len(m.storeQ[core][storeIdx(port)]) < m.sqDepth
+}
+
+// headerStoreOrderedBefore reports whether a header store to addr with a
+// smaller issue sequence number is still waiting in some core's queue. The
+// comparator array delays a later header store to the same address until the
+// earlier one has been accepted, so that same-address header stores commit
+// in issue order. The algorithm has a single writer for every header except
+// the tospace gray/blacken pair: with a header-FIFO hit, the scanning core
+// can issue the blackening store while the evacuating core's gray-header
+// store is still buffered, and without this rule the gray header could
+// commit last.
+func (m *Memory) headerStoreOrderedBefore(addr object.Addr, seq int64) bool {
+	for i := range m.storeQ {
+		for _, s := range m.storeQ[i][0] {
+			if s.addr == addr && s.seq < seq {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// headerStorePending reports whether a header store to addr is pending,
+// either waiting in a store buffer or accepted but not yet committed. While
+// it is, the comparator array delays header loads from the same address.
+func (m *Memory) headerStorePending(addr object.Addr) bool {
+	for i := range m.storeQ {
+		for _, s := range m.storeQ[i][0] {
+			if s.addr == addr {
+				return true
+			}
+		}
+	}
+	for i := range m.inflight {
+		s := &m.inflight[i]
+		if s.header && s.addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick advances the memory system by one core clock cycle: commit due
+// stores, complete due loads, then accept up to Bandwidth new requests.
+func (m *Memory) Tick() {
+	m.cycle++
+
+	// Commit stores whose latency has elapsed.
+	kept := m.inflight[:0]
+	for _, s := range m.inflight {
+		if s.doneAt <= m.cycle {
+			m.data[s.addr] = s.data
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	m.inflight = kept
+
+	// Complete accepted loads.
+	pending := len(m.inflight)
+	for i := range m.bufs {
+		pending += len(m.storeQ[i][0]) + len(m.storeQ[i][1])
+		for _, p := range [2]Port{HeaderLoad, BodyLoad} {
+			b := &m.bufs[i][p]
+			if !b.valid {
+				continue
+			}
+			pending++
+			if b.accepted && !b.ready && b.doneAt <= m.cycle {
+				b.data = m.data[b.addr]
+				b.ready = true
+			}
+		}
+	}
+	if pending > m.stats.PeakPending {
+		m.stats.PeakPending = pending
+	}
+
+	// Accept new requests, round-robin over cores for fairness, ports in
+	// fixed order within a core.
+	n := len(m.bufs)
+	if n == 0 {
+		return
+	}
+	budget := m.bw
+	anyAccepted := false
+	for k := 0; k < n && budget > 0; k++ {
+		ci := (m.rr + k) % n
+		for p := Port(0); p < numPorts && budget > 0; p++ {
+			if p.IsLoad() {
+				b := &m.bufs[ci][p]
+				if !b.valid || b.accepted || b.ready {
+					continue
+				}
+				if p == HeaderLoad && m.headerStorePending(b.addr) {
+					m.stats.OrderDelays++
+					continue
+				}
+				if !m.bankReady(b.addr, true) {
+					continue
+				}
+				b.accepted = true
+				b.doneAt = m.cycle + m.lat
+			} else {
+				q := &m.storeQ[ci][storeIdx(p)]
+				if len(*q) == 0 {
+					continue
+				}
+				s := (*q)[0]
+				if p == HeaderStore && m.headerStoreOrderedBefore(s.addr, s.seq) {
+					m.stats.OrderDelays++
+					continue
+				}
+				if !m.bankReady(s.addr, true) {
+					continue
+				}
+				*q = (*q)[1:]
+				m.inflight = append(m.inflight, inflightStore{
+					addr:   s.addr,
+					data:   s.data,
+					header: p.IsHeader(),
+					doneAt: m.cycle + m.lat,
+				})
+			}
+			m.stats.Accepted[p]++
+			budget--
+			anyAccepted = true
+		}
+	}
+	m.rr = (m.rr + 1) % n
+	if anyAccepted {
+		m.stats.BusyCycles++
+	}
+	if budget == 0 {
+		m.stats.SaturatedCyc++
+		if m.anyWaiting() {
+			m.stats.RejectedByBW++
+		}
+	}
+}
+
+// anyWaiting reports whether some issued request is still unaccepted.
+func (m *Memory) anyWaiting() bool {
+	for i := range m.bufs {
+		if len(m.storeQ[i][0]) > 0 || len(m.storeQ[i][1]) > 0 {
+			return true
+		}
+		for _, p := range [2]Port{HeaderLoad, BodyLoad} {
+			b := &m.bufs[i][p]
+			if b.valid && !b.accepted && !b.ready {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Drained reports whether every buffer and store queue is empty and every
+// accepted store has committed. The coprocessor flushes all buffers at the
+// end of a collection cycle before the main processor is restarted.
+func (m *Memory) Drained() bool {
+	if len(m.inflight) > 0 {
+		return false
+	}
+	for i := range m.bufs {
+		if len(m.storeQ[i][0]) > 0 || len(m.storeQ[i][1]) > 0 {
+			return false
+		}
+		for p := range m.bufs[i] {
+			if m.bufs[i][p].valid {
+				return false
+			}
+		}
+	}
+	return true
+}

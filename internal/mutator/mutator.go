@@ -1,0 +1,222 @@
+// Package mutator models the main processor's side of the system (paper
+// Section V-E): a single-threaded application that allocates objects,
+// mutates the object graph through a register/stack root set, and is stopped
+// for the duration of each collection cycle.
+//
+// The mutator triggers a collection whenever an allocation does not fit in
+// the current semispace, exactly as Core 1 of the coprocessor stops the main
+// processor "when the current semispace is full". It optionally verifies
+// every collection against the reference oracle, which turns any multi-cycle
+// run into an end-to-end correctness test of the collector.
+package mutator
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"hwgc/internal/gcalgo"
+	"hwgc/internal/heap"
+	"hwgc/internal/machine"
+	"hwgc/internal/object"
+)
+
+// ErrHeapExhausted is returned when an allocation does not fit even directly
+// after a collection cycle.
+var ErrHeapExhausted = errors.New("mutator: allocation does not fit even after GC")
+
+// Mutator drives a heap through allocation and collection cycles.
+type Mutator struct {
+	h   *heap.Heap
+	m   *machine.Machine
+	cfg machine.Config
+
+	// Verify, when set, snapshots the heap before each collection and
+	// checks the collector's output against the reference oracle.
+	Verify bool
+
+	collections []machine.Stats
+}
+
+// New creates a mutator over a fresh heap with the given semispace size,
+// collected by a coprocessor with configuration cfg.
+func New(semiWords int, cfg machine.Config) (*Mutator, error) {
+	h := heap.New(semiWords)
+	m, err := machine.New(h, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Mutator{h: h, m: m, cfg: cfg}, nil
+}
+
+// Heap exposes the underlying heap.
+func (mu *Mutator) Heap() *heap.Heap { return mu.h }
+
+// Collections returns the statistics of every collection cycle so far.
+func (mu *Mutator) Collections() []machine.Stats { return mu.collections }
+
+// TotalGCCycles returns the cumulative clock cycles spent in collection.
+func (mu *Mutator) TotalGCCycles() int64 {
+	var t int64
+	for _, s := range mu.collections {
+		t += s.Cycles
+	}
+	return t
+}
+
+// Collect forces a collection cycle now.
+func (mu *Mutator) Collect() (machine.Stats, error) {
+	var before *gcalgo.Graph
+	if mu.Verify {
+		var err error
+		before, err = gcalgo.Snapshot(mu.h)
+		if err != nil {
+			return machine.Stats{}, fmt.Errorf("mutator: pre-GC snapshot: %w", err)
+		}
+	}
+	st, err := mu.m.Collect()
+	if err != nil {
+		return machine.Stats{}, err
+	}
+	if mu.Verify {
+		if err := gcalgo.VerifyCollection(before, mu.h); err != nil {
+			return machine.Stats{}, fmt.Errorf("mutator: collection %d corrupted the heap: %w", len(mu.collections), err)
+		}
+	}
+	mu.collections = append(mu.collections, st)
+	return st, nil
+}
+
+// Alloc allocates an object, running a collection cycle first if the current
+// semispace is full (the stop-the-world trigger of Section V-E).
+func (mu *Mutator) Alloc(pi, delta int) (object.Addr, error) {
+	a, err := mu.h.Alloc(pi, delta)
+	if err == nil {
+		return a, nil
+	}
+	if !errors.Is(err, heap.ErrSpaceFull) {
+		return object.NilPtr, err
+	}
+	if _, err := mu.Collect(); err != nil {
+		return object.NilPtr, err
+	}
+	a, err = mu.h.Alloc(pi, delta)
+	if err != nil {
+		if errors.Is(err, heap.ErrSpaceFull) {
+			return object.NilPtr, fmt.Errorf("%w (need %d words, %d free)", ErrHeapExhausted, object.Size(pi, delta), mu.h.FreeWords())
+		}
+		return object.NilPtr, err
+	}
+	return a, nil
+}
+
+// ChurnConfig parameterizes RunChurn.
+type ChurnConfig struct {
+	Ops       int   // number of mutator operations
+	RootSlots int   // size of the simulated register/stack root set
+	MaxPi     int   // maximum pointer slots per allocated object
+	MaxDelta  int   // maximum data words per allocated object
+	Seed      int64 // PRNG seed
+}
+
+// ChurnReport summarizes a churn run.
+type ChurnReport struct {
+	Allocated   int64 // objects allocated
+	Dropped     int64 // root slots cleared (garbage creation)
+	Collections int   // GC cycles triggered
+	GCCycles    int64 // cumulative simulated clock cycles in GC
+}
+
+// RunChurn exercises the collector with a randomized allocate/mutate/drop
+// workload: it maintains a root set of RootSlots slots and repeatedly either
+// allocates a new object wired to existing ones, rewires pointers between
+// live objects, or clears a root (creating garbage). Collections trigger
+// automatically on semispace exhaustion. With Verify set on the mutator,
+// this is an end-to-end stress test across many GC cycles.
+func (mu *Mutator) RunChurn(cfg ChurnConfig) (ChurnReport, error) {
+	if cfg.RootSlots < 1 {
+		cfg.RootSlots = 8
+	}
+	if cfg.MaxPi < 1 {
+		cfg.MaxPi = 4
+	}
+	if cfg.MaxDelta < 0 {
+		cfg.MaxDelta = 8
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h := mu.h
+	for h.NumRoots() < cfg.RootSlots {
+		h.AddRoot(object.NilPtr)
+	}
+
+	var rep ChurnReport
+	pre := len(mu.collections)
+
+	// randomLive walks a short random path from a random non-nil root and
+	// returns some live object (or nil).
+	randomLive := func() object.Addr {
+		r := h.Root(rng.Intn(cfg.RootSlots))
+		if r == object.NilPtr {
+			return object.NilPtr
+		}
+		cur := r
+		for hop := 0; hop < 4; hop++ {
+			hd := h.Header(cur)
+			if hd.Pi == 0 || rng.Intn(3) == 0 {
+				return cur
+			}
+			next := h.Ptr(cur, rng.Intn(hd.Pi))
+			if next == object.NilPtr {
+				return cur
+			}
+			cur = next
+		}
+		return cur
+	}
+
+	for op := 0; op < cfg.Ops; op++ {
+		switch rng.Intn(10) {
+		case 0: // drop a root: creates garbage
+			h.SetRoot(rng.Intn(cfg.RootSlots), object.NilPtr)
+			rep.Dropped++
+		case 1, 2: // rewire a pointer between live objects
+			src := randomLive()
+			if src == object.NilPtr {
+				continue
+			}
+			hd := h.Header(src)
+			if hd.Pi == 0 {
+				continue
+			}
+			h.SetPtr(src, rng.Intn(hd.Pi), randomLive())
+		default: // allocate a new object and hang it somewhere reachable
+			pi := rng.Intn(cfg.MaxPi + 1)
+			delta := rng.Intn(cfg.MaxDelta + 1)
+			a, err := mu.Alloc(pi, delta)
+			if err != nil {
+				return rep, fmt.Errorf("mutator: op %d: %w", op, err)
+			}
+			rep.Allocated++
+			for i := 0; i < delta; i++ {
+				h.SetData(a, i, rng.Uint64())
+			}
+			for i := 0; i < pi; i++ {
+				if rng.Intn(2) == 0 {
+					h.SetPtr(a, i, randomLive())
+				}
+			}
+			// Anchor the new object: either in a root slot or in a live
+			// object's pointer slot.
+			if parent := randomLive(); parent != object.NilPtr && rng.Intn(3) != 0 {
+				if hd := h.Header(parent); hd.Pi > 0 {
+					h.SetPtr(parent, rng.Intn(hd.Pi), a)
+					continue
+				}
+			}
+			h.SetRoot(rng.Intn(cfg.RootSlots), a)
+		}
+	}
+	rep.Collections = len(mu.collections) - pre
+	rep.GCCycles = mu.TotalGCCycles()
+	return rep, nil
+}

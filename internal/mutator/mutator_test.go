@@ -1,0 +1,131 @@
+package mutator
+
+import (
+	"errors"
+	"testing"
+
+	"hwgc/internal/machine"
+	"hwgc/internal/object"
+)
+
+func TestAllocTriggersCollection(t *testing.T) {
+	mu, err := New(64, machine.Config{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Verify = true
+	h := mu.Heap()
+
+	// One live object anchored in a root, then garbage until the space
+	// fills; the next allocation must trigger a GC and succeed.
+	live, err := mu.Alloc(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddRoot(live)
+	for h.FreeWords() >= 8 {
+		if _, err := mu.Alloc(0, 6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(mu.Collections()) != 0 {
+		t.Fatal("premature collection")
+	}
+	a, err := mu.Alloc(0, 6)
+	if err != nil {
+		t.Fatalf("allocation after fill failed: %v", err)
+	}
+	if a == object.NilPtr {
+		t.Fatal("nil address")
+	}
+	if len(mu.Collections()) != 1 {
+		t.Fatalf("collections = %d, want 1", len(mu.Collections()))
+	}
+	if mu.TotalGCCycles() <= 0 {
+		t.Fatal("no GC cycles recorded")
+	}
+	// The live object survived; its root was forwarded into the new space.
+	if h.Header(h.Root(0)).Delta != 4 {
+		t.Fatal("live object lost or corrupted")
+	}
+}
+
+func TestHeapExhaustion(t *testing.T) {
+	mu, err := New(32, machine.Config{Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := mu.Heap()
+	// Keep everything live: exhaustion even after GC.
+	for i := 0; i < 10; i++ {
+		a, err := mu.Alloc(0, 3)
+		if err != nil {
+			if !errors.Is(err, ErrHeapExhausted) {
+				t.Fatalf("wrong error: %v", err)
+			}
+			return
+		}
+		h.AddRoot(a)
+	}
+	t.Fatal("exhaustion never reported")
+}
+
+func TestChurnManyCollections(t *testing.T) {
+	mu, err := New(2048, machine.Config{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Verify = true // oracle-check every collection
+	rep, err := mu.RunChurn(ChurnConfig{Ops: 8000, RootSlots: 8, MaxPi: 3, MaxDelta: 6, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Allocated == 0 {
+		t.Fatal("churn allocated nothing")
+	}
+	if rep.Collections < 2 {
+		t.Fatalf("churn triggered only %d collections; want several", rep.Collections)
+	}
+	if err := mu.Heap().CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	run := func() ChurnReport {
+		mu, err := New(1024, machine.Config{Cores: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := mu.RunChurn(ChurnConfig{Ops: 3000, RootSlots: 6, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("churn not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestChurnAcrossCoreCountsAgreesOnHeapContents(t *testing.T) {
+	// The collector must be semantics-free: the same churn sequence over
+	// coprocessors of different sizes yields identical live graphs.
+	shape := func(cores int) (int64, int) {
+		mu, err := New(1024, machine.Config{Cores: cores})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu.Verify = true
+		rep, err := mu.RunChurn(ChurnConfig{Ops: 3000, RootSlots: 6, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Allocated, mu.Heap().UsedWords()
+	}
+	a1, u1 := shape(1)
+	a2, u2 := shape(8)
+	if a1 != a2 || u1 != u2 {
+		t.Fatalf("heap evolution depends on core count: (%d,%d) vs (%d,%d)", a1, u1, a2, u2)
+	}
+}

@@ -1,0 +1,48 @@
+package mutator
+
+import (
+	"testing"
+
+	"hwgc/internal/machine"
+)
+
+// TestSoakAcrossConfigurations is the long-running end-to-end stress test:
+// tens of collection cycles per configuration, every one verified by the
+// oracle, across the option space (strides, header cache, mark-read
+// optimization, FIFO pathologies, bank model, odd core counts).
+func TestSoakAcrossConfigurations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is slow")
+	}
+	configs := []machine.Config{
+		{Cores: 1},
+		{Cores: 5},
+		{Cores: 16},
+		{Cores: 16, StrideWords: 8},
+		{Cores: 16, HeaderCacheLines: 64},
+		{Cores: 16, OptUnlockedMarkRead: true},
+		{Cores: 16, FIFOCapacity: 4},
+		{Cores: 16, DisableFIFO: true},
+		{Cores: 16, MemBanks: 4},
+		{Cores: 16, ExtraMemLatency: 20, MemBandwidth: 2},
+		{Cores: 8, StrideWords: 4, HeaderCacheLines: 32, OptUnlockedMarkRead: true, MemBanks: 2},
+	}
+	for i, cfg := range configs {
+		cfg := cfg
+		mu, err := New(1536, cfg)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		mu.Verify = true
+		rep, err := mu.RunChurn(ChurnConfig{Ops: 20000, RootSlots: 10, MaxPi: 3, MaxDelta: 8, Seed: int64(100 + i)})
+		if err != nil {
+			t.Fatalf("config %d (%+v): %v", i, cfg, err)
+		}
+		if rep.Collections < 5 {
+			t.Errorf("config %d: only %d collections; the soak should cycle the heap repeatedly", i, rep.Collections)
+		}
+		if err := mu.Heap().CheckIntegrity(); err != nil {
+			t.Fatalf("config %d: final heap corrupt: %v", i, err)
+		}
+	}
+}

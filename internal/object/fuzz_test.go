@@ -1,0 +1,28 @@
+package object
+
+import "testing"
+
+// FuzzHeaderDecodeEncode checks that decoding any word and re-encoding the
+// result is stable (Decode is total; Encode∘Decode is idempotent on the
+// header's defined bits).
+func FuzzHeaderDecodeEncode(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(Header{Pi: MaxPi, Delta: MaxDelta, Mark: true, Gray: true, Link: 0xFFFFFFFF}.Encode())
+	f.Add(uint64(0x123456789ABCDEF0))
+	f.Fuzz(func(t *testing.T, w uint64) {
+		h := Decode(w)
+		if h.Pi < 0 || h.Pi > MaxPi || h.Delta < 0 || h.Delta > MaxDelta {
+			t.Fatalf("decoded shape out of range: %+v", h)
+		}
+		w2 := h.Encode()
+		if Decode(w2) != h {
+			t.Fatalf("re-encode not stable: %#x -> %+v -> %#x", w, h, w2)
+		}
+		// The field extractors agree with the full decode.
+		if Pi(w) != h.Pi || Delta(w) != h.Delta || Marked(w) != h.Mark ||
+			GrayBit(w) != h.Gray || Link(w) != h.Link {
+			t.Fatalf("extractors disagree on %#x", w)
+		}
+	})
+}

@@ -1,0 +1,155 @@
+// Package object defines the word-level object model shared by every
+// component of the system: the simulated coprocessor, the software baseline
+// collectors, the reference collector, and the workload generators.
+//
+// The model follows Section V-D of the paper (Horvath & Meyer, ICPP 2010):
+// each object consists of a two-word header followed by a body that is
+// strictly partitioned into a pointer area of length π and a data area of
+// length δ. The header carries the GC attributes: π, δ, the mark state, and
+// either a forwarding pointer (fromspace, after evacuation) or a backlink
+// (tospace, while the object frame is gray).
+//
+// The prototype stores the attributes in two words. We keep the two-word
+// header layout in memory for fidelity — object addresses, sizes, and the
+// access patterns all match — but pack all attribute fields into header
+// word 0 so that a single header load is always sufficient. Header word 1 is
+// reserved (the prototype keeps secondary attributes there; the mutator
+// zeroes it at allocation and no collector reads it).
+package object
+
+// Word is one machine word of the simulated memory. The prototype is a
+// 32-bit machine; we use 64-bit words so that the packed header (attributes
+// plus a 32-bit forwarding pointer or backlink) fits into header word 0.
+//
+// Word is a type alias rather than a defined type so that the software
+// baseline collectors can apply sync/atomic operations directly to words in
+// the heap slice.
+type Word = uint64
+
+// Addr is a word address in the simulated memory. Address 0 is reserved as
+// the nil pointer; no object may be placed there.
+type Addr = uint32
+
+// NilPtr is the null object reference.
+const NilPtr Addr = 0
+
+// HeaderWords is the size of an object header in words (paper Fig. 3).
+const HeaderWords = 2
+
+// Field widths of the packed header word 0.
+const (
+	piBits    = 12
+	deltaBits = 12
+
+	piShift    = 0
+	deltaShift = piShift + piBits
+	markShift  = deltaShift + deltaBits // bit 24
+	grayShift  = markShift + 1          // bit 25
+	linkShift  = 32                     // bits 32..63: forwarding ptr / backlink
+
+	piMask    = (1 << piBits) - 1
+	deltaMask = (1 << deltaBits) - 1
+)
+
+// MaxPi and MaxDelta bound the pointer-area and data-area lengths encodable
+// in a header. Workloads that need larger logical arrays split them across
+// several objects, exactly as the prototype's Java runtime would.
+const (
+	MaxPi    = piMask
+	MaxDelta = deltaMask
+)
+
+// Header is the decoded form of header word 0.
+type Header struct {
+	Pi    int  // number of pointer slots in the body
+	Delta int  // number of data words in the body
+	Mark  bool // fromspace: object has been evacuated
+	Gray  bool // tospace: frame allocated, body not yet copied
+	Link  Addr // Mark: forwarding pointer; Gray: backlink to fromspace original
+}
+
+// Encode packs h into header word 0.
+func (h Header) Encode() Word {
+	if h.Pi < 0 || h.Pi > MaxPi {
+		panic("object: pointer count out of range")
+	}
+	if h.Delta < 0 || h.Delta > MaxDelta {
+		panic("object: data count out of range")
+	}
+	w := Word(h.Pi)<<piShift | Word(h.Delta)<<deltaShift
+	if h.Mark {
+		w |= 1 << markShift
+	}
+	if h.Gray {
+		w |= 1 << grayShift
+	}
+	w |= Word(h.Link) << linkShift
+	return w
+}
+
+// Decode unpacks header word 0.
+func Decode(w Word) Header {
+	return Header{
+		Pi:    int(w >> piShift & piMask),
+		Delta: int(w >> deltaShift & deltaMask),
+		Mark:  w>>markShift&1 == 1,
+		Gray:  w>>grayShift&1 == 1,
+		Link:  Addr(w >> linkShift),
+	}
+}
+
+// Pi extracts the pointer count without a full decode.
+func Pi(w Word) int { return int(w >> piShift & piMask) }
+
+// Delta extracts the data count without a full decode.
+func Delta(w Word) int { return int(w >> deltaShift & deltaMask) }
+
+// Marked reports the mark (evacuated) bit without a full decode.
+func Marked(w Word) bool { return w>>markShift&1 == 1 }
+
+// GrayBit reports the gray bit without a full decode.
+func GrayBit(w Word) bool { return w>>grayShift&1 == 1 }
+
+// Link extracts the forwarding pointer / backlink without a full decode.
+func Link(w Word) Addr { return Addr(w >> linkShift) }
+
+// BodyWords returns the body length, in words, of an object with the given
+// header word.
+func BodyWords(w Word) int { return Pi(w) + Delta(w) }
+
+// SizeWords returns the total object size (header plus body) in words.
+func SizeWords(w Word) int { return HeaderWords + BodyWords(w) }
+
+// Size returns the total size in words of an object with pi pointer slots
+// and delta data words.
+func Size(pi, delta int) int { return HeaderWords + pi + delta }
+
+// WithMark returns the header word with the mark bit set and the link field
+// replaced by the forwarding pointer fwd. This is the single header store a
+// collector performs to gray a fromspace object.
+func WithMark(w Word, fwd Addr) Word {
+	const attrMask = Word(piMask)<<piShift | Word(deltaMask)<<deltaShift
+	return w&attrMask | 1<<markShift | Word(fwd)<<linkShift
+}
+
+// GrayHeader builds the header word installed in a freshly allocated tospace
+// frame: attributes copied from the fromspace original, gray bit set, and
+// the backlink to the original in the link field.
+func GrayHeader(fromHdr Word, backlink Addr) Word {
+	const attrMask = Word(piMask)<<piShift | Word(deltaMask)<<deltaShift
+	return fromHdr&attrMask | 1<<grayShift | Word(backlink)<<linkShift
+}
+
+// BlackHeader builds the final header word written when an object is
+// blackened: attributes only, gray bit and link cleared.
+func BlackHeader(w Word) Word {
+	const attrMask = Word(piMask)<<piShift | Word(deltaMask)<<deltaShift
+	return w & attrMask
+}
+
+// PtrSlot returns the address of pointer slot i of the object at base.
+func PtrSlot(base Addr, i int) Addr { return base + HeaderWords + Addr(i) }
+
+// DataSlot returns the address of data word i of an object at base with pi
+// pointer slots.
+func DataSlot(base Addr, pi, i int) Addr { return base + HeaderWords + Addr(pi) + Addr(i) }

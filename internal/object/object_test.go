@@ -1,0 +1,128 @@
+package object
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Header{
+		{},
+		{Pi: 1},
+		{Delta: 1},
+		{Pi: MaxPi, Delta: MaxDelta},
+		{Pi: 3, Delta: 7, Mark: true, Link: 12345},
+		{Pi: 3, Delta: 7, Gray: true, Link: 1},
+		{Pi: 0, Delta: 0, Mark: true, Gray: true, Link: 0xFFFFFFFF},
+	}
+	for _, h := range cases {
+		got := Decode(h.Encode())
+		if got != h {
+			t.Errorf("round trip: got %+v, want %+v", got, h)
+		}
+	}
+}
+
+func TestHeaderEncodeDecodeQuick(t *testing.T) {
+	f := func(pi, delta uint16, mark, gray bool, link uint32) bool {
+		h := Header{
+			Pi:    int(pi) % (MaxPi + 1),
+			Delta: int(delta) % (MaxDelta + 1),
+			Mark:  mark,
+			Gray:  gray,
+			Link:  link,
+		}
+		return Decode(h.Encode()) == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldExtractorsMatchDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		h := Header{
+			Pi:    rng.Intn(MaxPi + 1),
+			Delta: rng.Intn(MaxDelta + 1),
+			Mark:  rng.Intn(2) == 0,
+			Gray:  rng.Intn(2) == 0,
+			Link:  rng.Uint32(),
+		}
+		w := h.Encode()
+		if Pi(w) != h.Pi || Delta(w) != h.Delta || Marked(w) != h.Mark || GrayBit(w) != h.Gray || Link(w) != h.Link {
+			t.Fatalf("extractors disagree with Decode for %+v", h)
+		}
+		if BodyWords(w) != h.Pi+h.Delta {
+			t.Fatalf("BodyWords = %d, want %d", BodyWords(w), h.Pi+h.Delta)
+		}
+		if SizeWords(w) != HeaderWords+h.Pi+h.Delta {
+			t.Fatalf("SizeWords = %d, want %d", SizeWords(w), HeaderWords+h.Pi+h.Delta)
+		}
+	}
+}
+
+func TestWithMarkPreservesShapeOnly(t *testing.T) {
+	orig := Header{Pi: 5, Delta: 9, Gray: true, Link: 777}
+	w := WithMark(orig.Encode(), 4242)
+	got := Decode(w)
+	want := Header{Pi: 5, Delta: 9, Mark: true, Link: 4242}
+	if got != want {
+		t.Errorf("WithMark: got %+v, want %+v", got, want)
+	}
+}
+
+func TestGrayHeaderCarriesBacklinkAndShape(t *testing.T) {
+	from := Header{Pi: 2, Delta: 3}.Encode()
+	g := Decode(GrayHeader(from, 999))
+	want := Header{Pi: 2, Delta: 3, Gray: true, Link: 999}
+	if g != want {
+		t.Errorf("GrayHeader: got %+v, want %+v", g, want)
+	}
+}
+
+func TestBlackHeaderClearsBookkeeping(t *testing.T) {
+	gray := Header{Pi: 2, Delta: 3, Gray: true, Link: 999}.Encode()
+	blk := Decode(BlackHeader(gray))
+	want := Header{Pi: 2, Delta: 3}
+	if blk != want {
+		t.Errorf("BlackHeader: got %+v, want %+v", blk, want)
+	}
+	marked := Header{Pi: 1, Delta: 0, Mark: true, Link: 5}.Encode()
+	if got := Decode(BlackHeader(marked)); got != (Header{Pi: 1}) {
+		t.Errorf("BlackHeader of marked: got %+v", got)
+	}
+}
+
+func TestSlotAddressing(t *testing.T) {
+	const base Addr = 100
+	if PtrSlot(base, 0) != 102 || PtrSlot(base, 3) != 105 {
+		t.Errorf("PtrSlot addressing wrong: %d %d", PtrSlot(base, 0), PtrSlot(base, 3))
+	}
+	// Data area starts after the pointer area.
+	if DataSlot(base, 4, 0) != 106 || DataSlot(base, 4, 2) != 108 {
+		t.Errorf("DataSlot addressing wrong: %d %d", DataSlot(base, 4, 0), DataSlot(base, 4, 2))
+	}
+	if Size(4, 3) != HeaderWords+7 {
+		t.Errorf("Size(4,3) = %d", Size(4, 3))
+	}
+}
+
+func TestEncodePanicsOnOutOfRange(t *testing.T) {
+	for _, h := range []Header{
+		{Pi: MaxPi + 1},
+		{Delta: MaxDelta + 1},
+		{Pi: -1},
+		{Delta: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Encode(%+v) did not panic", h)
+				}
+			}()
+			h.Encode()
+		}()
+	}
+}

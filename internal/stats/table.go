@@ -1,0 +1,137 @@
+// Package stats provides small numeric and formatting helpers shared by the
+// experiment harness: speedup computation, percentage formatting, and
+// plain-text tables in the style of the paper's Tables I and II.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned plain-text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends a row; missing cells are left empty, extra cells are dropped.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Addf appends a row formatting each value with %v.
+func (t *Table) Addf(cells ...any) {
+	s := make([]string, len(cells))
+	for i, c := range cells {
+		s[i] = fmt.Sprint(c)
+	}
+	t.Add(s...)
+}
+
+// Write renders the table. Column widths adapt to content; the first column
+// is left-aligned, the rest right-aligned (matching the paper's tables).
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				b.WriteString(pad(c, widths[i], false))
+			} else {
+				b.WriteString(pad(c, widths[i], true))
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.Header); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Write(&b)
+	return b.String()
+}
+
+func pad(s string, w int, right bool) string {
+	if len(s) >= w {
+		return s
+	}
+	fill := strings.Repeat(" ", w-len(s))
+	if right {
+		return fill + s
+	}
+	return s + fill
+}
+
+// Speedup returns base/x, the paper's speedup metric (Figures 5 and 6).
+func Speedup(base, x int64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return float64(base) / float64(x)
+}
+
+// Percent formats num/den as a percentage with two decimals, e.g. "29.40 %",
+// matching the paper's table style.
+func Percent(num, den int64) string {
+	if den == 0 {
+		return "0.00 %"
+	}
+	return fmt.Sprintf("%.2f %%", 100*float64(num)/float64(den))
+}
+
+// CyclesAndPercent formats "N (p %)" as in the paper's Table II.
+func CyclesAndPercent(num, den int64) string {
+	if den == 0 {
+		return fmt.Sprintf("%d (0.00 %%)", num)
+	}
+	return fmt.Sprintf("%d (%.2f %%)", num, 100*float64(num)/float64(den))
+}

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.Add("alpha", "1")
+	tb.Addf("beta", 22)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows -> 5? title+header+rule+2 = 5
+		if len(lines) != 5 {
+			t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "alpha") || !strings.Contains(out, "22") {
+		t.Fatalf("content missing:\n%s", out)
+	}
+	// Right alignment of the value column: "1" ends each row cell.
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "alpha") && !strings.HasSuffix(ln, "1") {
+			t.Fatalf("value not right-aligned: %q", ln)
+		}
+	}
+}
+
+func TestTableMissingAndExtraCells(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Add("x")           // missing
+	tb.Add("y", "z", "w") // extra dropped
+	if len(tb.Rows[0]) != 2 || tb.Rows[0][1] != "" {
+		t.Fatalf("missing cell not padded: %v", tb.Rows[0])
+	}
+	if len(tb.Rows[1]) != 2 {
+		t.Fatalf("extra cell not dropped: %v", tb.Rows[1])
+	}
+	_ = tb.String() // must not panic
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(100, 50) != 2.0 || Speedup(100, 0) != 0 {
+		t.Fatal("speedup math wrong")
+	}
+}
+
+func TestPercentFormats(t *testing.T) {
+	if got := Percent(2940, 3251965); got != "0.09 %" {
+		t.Fatalf("Percent = %q", got)
+	}
+	if got := Percent(1, 0); got != "0.00 %" {
+		t.Fatalf("Percent div0 = %q", got)
+	}
+	if got := CyclesAndPercent(629596, 2141803); got != "629596 (29.40 %)" {
+		t.Fatalf("CyclesAndPercent = %q (paper Table II javac header-lock)", got)
+	}
+}

@@ -1,0 +1,268 @@
+// Package syncblock models the coprocessor's synchronization block (SB)
+// (paper Section V-C).
+//
+// The SB maintains the global synchronization state of the multi-core GC
+// coprocessor:
+//
+//   - The scan and free registers, readable by all cores simultaneously, each
+//     protected by a lock. A core acquires a lock with a micro-operation; if
+//     the lock is held, the SB stalls the core until the owner releases it.
+//     Simultaneous claims are resolved by a static prioritization scheme
+//     (lower core index wins). Acquisition incurs no clock-cycle penalty in
+//     the uncontended case, and a lock released by one core can be
+//     reacquired by another core in the same cycle.
+//
+//   - One header-lock register per core. A core can only change its own
+//     register; to acquire a header lock the SB compares the requested
+//     address against all other header-lock registers in parallel and stalls
+//     the core on a match.
+//
+//   - The ScanState register with one busy bit per core, used by the
+//     termination-detection scheme of Section IV.
+//
+//   - Barrier synchronization: any micro-instruction can be marked as
+//     synchronizing; a core executing one is stalled until all cores have
+//     reached a synchronizing micro-instruction.
+//
+// The cycle-stepped machine steps cores in ascending index order within each
+// clock cycle, which realizes the static priority scheme: if core i releases
+// a lock during its step, any core j that steps afterwards in the same cycle
+// may acquire it (same-cycle release/reacquire), and among cores that stall
+// on the same lock the lowest-indexed one acquires it first on the following
+// cycle.
+package syncblock
+
+import (
+	"fmt"
+
+	"hwgc/internal/object"
+)
+
+// noOwner marks an unheld lock.
+const noOwner = -1
+
+// Stats counts synchronization events for analysis and tests.
+type Stats struct {
+	ScanAcquisitions   int64
+	FreeAcquisitions   int64
+	HeaderAcquisitions int64
+	ScanConflicts      int64 // failed scan-lock attempts
+	FreeConflicts      int64
+	HeaderConflicts    int64
+}
+
+// SB is the synchronization block shared by all cores of the coprocessor.
+// It is not safe for concurrent use; the machine drives it cycle by cycle.
+type SB struct {
+	n         int
+	scan      object.Addr
+	free      object.Addr
+	scanOwner int
+	freeOwner int
+	headerReg []object.Addr // per core; NilPtr = unlocked
+	busy      []bool
+	barriers  map[int][]bool
+	stats     Stats
+}
+
+// New creates a synchronization block for n cores.
+func New(n int) *SB {
+	if n < 1 {
+		panic("syncblock: need at least one core")
+	}
+	sb := &SB{n: n}
+	sb.headerReg = make([]object.Addr, n)
+	sb.busy = make([]bool, n)
+	sb.barriers = make(map[int][]bool)
+	sb.scanOwner = noOwner
+	sb.freeOwner = noOwner
+	return sb
+}
+
+// Cores returns the number of cores attached to the SB.
+func (s *SB) Cores() int { return s.n }
+
+// Reset prepares the SB for a new collection cycle with the given initial
+// scan and free register values.
+func (s *SB) Reset(scan, free object.Addr) {
+	s.scan = scan
+	s.free = free
+	s.scanOwner = noOwner
+	s.freeOwner = noOwner
+	for i := range s.headerReg {
+		s.headerReg[i] = object.NilPtr
+		s.busy[i] = false
+	}
+	s.barriers = make(map[int][]bool)
+	s.stats = Stats{}
+}
+
+// Stats returns a copy of the synchronization counters.
+func (s *SB) Stats() Stats { return s.stats }
+
+// Scan reads the scan register (readable by all cores every cycle).
+func (s *SB) Scan() object.Addr { return s.scan }
+
+// Free reads the free register (readable by all cores every cycle).
+func (s *SB) Free() object.Addr { return s.free }
+
+// TryAcquireScan attempts to acquire the scan lock for core. At most one
+// core may modify the scan register per cycle; static priority is realized
+// by the machine's core stepping order.
+func (s *SB) TryAcquireScan(core int) bool {
+	if s.scanOwner == core {
+		return true
+	}
+	if s.scanOwner != noOwner {
+		s.stats.ScanConflicts++
+		return false
+	}
+	s.scanOwner = core
+	s.stats.ScanAcquisitions++
+	return true
+}
+
+// ReleaseScan releases the scan lock held by core.
+func (s *SB) ReleaseScan(core int) {
+	if s.scanOwner != core {
+		panic(fmt.Sprintf("syncblock: core %d releasing scan lock owned by %d", core, s.scanOwner))
+	}
+	s.scanOwner = noOwner
+}
+
+// SetScan writes the scan register; only the lock owner may do so.
+func (s *SB) SetScan(core int, a object.Addr) {
+	if s.scanOwner != core {
+		panic(fmt.Sprintf("syncblock: core %d writing scan without lock", core))
+	}
+	s.scan = a
+}
+
+// TryAcquireFree attempts to acquire the free lock for core.
+func (s *SB) TryAcquireFree(core int) bool {
+	if s.freeOwner == core {
+		return true
+	}
+	if s.freeOwner != noOwner {
+		s.stats.FreeConflicts++
+		return false
+	}
+	s.freeOwner = core
+	s.stats.FreeAcquisitions++
+	return true
+}
+
+// ReleaseFree releases the free lock held by core.
+func (s *SB) ReleaseFree(core int) {
+	if s.freeOwner != core {
+		panic(fmt.Sprintf("syncblock: core %d releasing free lock owned by %d", core, s.freeOwner))
+	}
+	s.freeOwner = noOwner
+}
+
+// SetFree writes the free register; only the lock owner may do so.
+func (s *SB) SetFree(core int, a object.Addr) {
+	if s.freeOwner != core {
+		panic(fmt.Sprintf("syncblock: core %d writing free without lock", core))
+	}
+	s.free = a
+}
+
+// ScanOwner returns the core currently holding the scan lock, or -1.
+func (s *SB) ScanOwner() int { return s.scanOwner }
+
+// FreeOwner returns the core currently holding the free lock, or -1.
+func (s *SB) FreeOwner() int { return s.freeOwner }
+
+// TryLockHeader attempts to set core's header-lock register to addr. The SB
+// compares addr against all other header-lock registers in parallel; on a
+// match the core stalls (returns false).
+func (s *SB) TryLockHeader(core int, addr object.Addr) bool {
+	if addr == object.NilPtr {
+		panic("syncblock: cannot header-lock the nil address")
+	}
+	if s.headerReg[core] == addr {
+		return true
+	}
+	if s.headerReg[core] != object.NilPtr {
+		panic(fmt.Sprintf("syncblock: core %d already holds header lock %d", core, s.headerReg[core]))
+	}
+	for i, r := range s.headerReg {
+		if i != core && r == addr {
+			s.stats.HeaderConflicts++
+			return false
+		}
+	}
+	s.headerReg[core] = addr
+	s.stats.HeaderAcquisitions++
+	return true
+}
+
+// UnlockHeader clears core's header-lock register.
+func (s *SB) UnlockHeader(core int) {
+	s.headerReg[core] = object.NilPtr
+}
+
+// HeaderLockOf returns the address in core's header-lock register (NilPtr if
+// unlocked).
+func (s *SB) HeaderLockOf(core int) object.Addr { return s.headerReg[core] }
+
+// SetBusy sets or clears core's busy bit in the ScanState register.
+func (s *SB) SetBusy(core int, b bool) { s.busy[core] = b }
+
+// Busy reports core's busy bit.
+func (s *SB) Busy(core int) bool { return s.busy[core] }
+
+// AllIdle reports whether no core currently has its busy bit set. Together
+// with scan == free this is the algorithm's termination condition; because
+// cores are stepped one at a time, the combined check is atomic, exactly as
+// the SB hardware performs it.
+func (s *SB) AllIdle() bool {
+	for _, b := range s.busy {
+		if b {
+			return false
+		}
+	}
+	return true
+}
+
+// Barrier registers core's arrival at the synchronizing micro-instruction
+// identified by id and reports whether all cores have arrived. Cores poll it
+// every cycle until it reports true. Each id is used for one barrier per
+// collection cycle.
+func (s *SB) Barrier(id, core int) bool {
+	arr, ok := s.barriers[id]
+	if !ok {
+		arr = make([]bool, s.n)
+		s.barriers[id] = arr
+	}
+	arr[core] = true
+	for _, a := range arr {
+		if !a {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckLockOrder validates the fixed lock-ordering scheme scan < header <
+// free (paper Section IV, after Habermann): a core holding the free lock may
+// hold a header lock and the scan lock is never requested while holding
+// either. The machine calls it in debug builds of the step loop; a violation
+// indicates a microprogram bug.
+func (s *SB) CheckLockOrder() error {
+	// The only statically checkable global invariant is that at most one
+	// core owns each of scan/free and that header registers are mutually
+	// distinct (when set).
+	seen := make(map[object.Addr]int)
+	for i, r := range s.headerReg {
+		if r == object.NilPtr {
+			continue
+		}
+		if j, dup := seen[r]; dup {
+			return fmt.Errorf("syncblock: cores %d and %d both hold header lock %d", j, i, r)
+		}
+		seen[r] = i
+	}
+	return nil
+}

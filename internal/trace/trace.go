@@ -1,0 +1,169 @@
+// Package trace is the software analogue of the prototype's monitoring
+// framework (paper Section VI-A): the FPGA could trace up to 32 internal
+// signals in each clock cycle or expose hardware performance counters, with
+// the data streamed to a measurement PC and analysed offline.
+//
+// Here, a Monitor attaches to a machine's per-cycle probe, samples the
+// interesting internal signals (scan, free, gray population, FIFO depth,
+// lock owners, per-core states) at a configurable interval into a bounded
+// ring buffer, and can export the trace as CSV for offline analysis.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"hwgc/internal/machine"
+	"hwgc/internal/object"
+)
+
+// Sample is one observation of the coprocessor's internal signals.
+type Sample struct {
+	Cycle     int64
+	Scan      object.Addr
+	Free      object.Addr
+	GrayWords int64 // free - scan: the work list size in words
+	FIFODepth int
+	ScanOwner int // core holding the scan lock, -1 if none
+	FreeOwner int // core holding the free lock, -1 if none
+	BusyCores int // cores with their ScanState busy bit set
+}
+
+// Monitor samples a machine's signals every Interval cycles into a ring
+// buffer holding the most recent MaxSamples observations.
+type Monitor struct {
+	Interval   int64
+	MaxSamples int
+
+	samples []Sample
+	start   int
+	total   int64
+}
+
+// NewMonitor creates a monitor sampling every interval cycles, keeping up to
+// maxSamples most recent samples.
+func NewMonitor(interval int64, maxSamples int) *Monitor {
+	if interval < 1 {
+		interval = 1
+	}
+	if maxSamples < 1 {
+		maxSamples = 1
+	}
+	return &Monitor{Interval: interval, MaxSamples: maxSamples}
+}
+
+// Attach installs the monitor as m's per-cycle probe. Only one probe can be
+// attached at a time.
+func (t *Monitor) Attach(m *machine.Machine) {
+	m.Probe = func(cycle int64, m *machine.Machine) {
+		if cycle%t.Interval != 0 {
+			return
+		}
+		t.record(t.sample(cycle, m))
+	}
+}
+
+func (t *Monitor) sample(cycle int64, m *machine.Machine) Sample {
+	sb := m.SB()
+	busy := 0
+	for i := 0; i < sb.Cores(); i++ {
+		if sb.Busy(i) {
+			busy++
+		}
+	}
+	return Sample{
+		Cycle:     cycle,
+		Scan:      sb.Scan(),
+		Free:      sb.Free(),
+		GrayWords: int64(sb.Free()) - int64(sb.Scan()),
+		FIFODepth: m.FIFODepth(),
+		ScanOwner: sb.ScanOwner(),
+		FreeOwner: sb.FreeOwner(),
+		BusyCores: busy,
+	}
+}
+
+func (t *Monitor) record(s Sample) {
+	t.total++
+	if len(t.samples) < t.MaxSamples {
+		t.samples = append(t.samples, s)
+		return
+	}
+	t.samples[t.start] = s
+	t.start = (t.start + 1) % t.MaxSamples
+}
+
+// Len returns the number of retained samples.
+func (t *Monitor) Len() int { return len(t.samples) }
+
+// Total returns the number of samples taken (including evicted ones).
+func (t *Monitor) Total() int64 { return t.total }
+
+// Samples returns the retained samples in chronological order.
+func (t *Monitor) Samples() []Sample {
+	out := make([]Sample, 0, len(t.samples))
+	for i := 0; i < len(t.samples); i++ {
+		out = append(out, t.samples[(t.start+i)%len(t.samples)])
+	}
+	return out
+}
+
+// Reset discards all samples.
+func (t *Monitor) Reset() {
+	t.samples = t.samples[:0]
+	t.start = 0
+	t.total = 0
+}
+
+// MaxGrayWords returns the largest observed work-list size in words.
+func (t *Monitor) MaxGrayWords() int64 {
+	var max int64
+	for _, s := range t.Samples() {
+		if s.GrayWords > max {
+			max = s.GrayWords
+		}
+	}
+	return max
+}
+
+// WriteCSV writes the retained samples as CSV with a header row.
+func (t *Monitor) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "cycle,scan,free,gray_words,fifo_depth,scan_owner,free_owner,busy_cores"); err != nil {
+		return err
+	}
+	for _, s := range t.Samples() {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d\n",
+			s.Cycle, s.Scan, s.Free, s.GrayWords, s.FIFODepth, s.ScanOwner, s.FreeOwner, s.BusyCores); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MeanBusyCores returns the average number of busy cores over the retained
+// samples — a utilization summary for scaling analyses.
+func (t *Monitor) MeanBusyCores() float64 {
+	s := t.Samples()
+	if len(s) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, x := range s {
+		sum += int64(x.BusyCores)
+	}
+	return float64(sum) / float64(len(s))
+}
+
+// MeanGrayWords returns the average work-list size over the retained
+// samples.
+func (t *Monitor) MeanGrayWords() float64 {
+	s := t.Samples()
+	if len(s) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, x := range s {
+		sum += x.GrayWords
+	}
+	return float64(sum) / float64(len(s))
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"hwgc/internal/gcalgo"
+	"hwgc/internal/machine"
+	"hwgc/internal/workload"
+)
+
+func collectWithMonitor(t *testing.T, interval int64, maxSamples int) (*Monitor, machine.Stats) {
+	t.Helper()
+	spec, err := workload.Get("jlisp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := spec.Plan(1, 3).BuildHeap(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := gcalgo.Snapshot(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(h, machine.Config{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := NewMonitor(interval, maxSamples)
+	mon.Attach(m)
+	st, err := m.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gcalgo.VerifyCollection(before, h); err != nil {
+		t.Fatal(err)
+	}
+	return mon, st
+}
+
+func TestMonitorSamples(t *testing.T) {
+	mon, st := collectWithMonitor(t, 8, 1<<16)
+	if mon.Len() == 0 {
+		t.Fatal("no samples")
+	}
+	samples := mon.Samples()
+	var prev int64 = -1
+	for _, s := range samples {
+		if s.Cycle <= prev {
+			t.Fatalf("samples out of order: %d after %d", s.Cycle, prev)
+		}
+		prev = s.Cycle
+		if s.Cycle%8 != 0 {
+			t.Fatalf("sample at cycle %d violates interval", s.Cycle)
+		}
+		if s.Free < s.Scan {
+			t.Fatalf("free %d < scan %d", s.Free, s.Scan)
+		}
+		if s.GrayWords != int64(s.Free)-int64(s.Scan) {
+			t.Fatalf("gray words inconsistent")
+		}
+		if s.BusyCores < 0 || s.BusyCores > 4 {
+			t.Fatalf("busy cores %d", s.BusyCores)
+		}
+	}
+	if mon.MaxGrayWords() <= 0 {
+		t.Fatal("work list never grew?")
+	}
+	if samples[len(samples)-1].Cycle > st.Cycles {
+		t.Fatal("sample beyond collection end")
+	}
+}
+
+func TestMonitorRingEviction(t *testing.T) {
+	mon, _ := collectWithMonitor(t, 1, 16)
+	if mon.Len() != 16 {
+		t.Fatalf("retained %d, want 16", mon.Len())
+	}
+	if mon.Total() <= 16 {
+		t.Fatalf("total %d suggests no eviction happened", mon.Total())
+	}
+	s := mon.Samples()
+	for i := 1; i < len(s); i++ {
+		if s[i].Cycle != s[i-1].Cycle+1 {
+			t.Fatalf("ring returned non-contiguous tail: %d after %d", s[i].Cycle, s[i-1].Cycle)
+		}
+	}
+}
+
+func TestMonitorCSV(t *testing.T) {
+	mon, _ := collectWithMonitor(t, 16, 1024)
+	var b strings.Builder
+	if err := mon.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != mon.Len()+1 {
+		t.Fatalf("CSV has %d lines for %d samples", len(lines), mon.Len())
+	}
+	if !strings.HasPrefix(lines[0], "cycle,scan,free") {
+		t.Fatalf("CSV header wrong: %q", lines[0])
+	}
+	for _, ln := range lines[1:] {
+		if strings.Count(ln, ",") != 7 {
+			t.Fatalf("CSV row malformed: %q", ln)
+		}
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	mon, _ := collectWithMonitor(t, 4, 64)
+	mon.Reset()
+	if mon.Len() != 0 || mon.Total() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestMonitorDefensiveParams(t *testing.T) {
+	m := NewMonitor(0, 0)
+	if m.Interval != 1 || m.MaxSamples != 1 {
+		t.Fatalf("defaults not applied: %+v", m)
+	}
+}
+
+func TestMonitorAverages(t *testing.T) {
+	mon, _ := collectWithMonitor(t, 1, 1<<16)
+	if mon.MeanBusyCores() <= 0 || mon.MeanBusyCores() > 4 {
+		t.Fatalf("mean busy cores %f out of range", mon.MeanBusyCores())
+	}
+	if mon.MeanGrayWords() <= 0 {
+		t.Fatalf("mean gray words %f", mon.MeanGrayWords())
+	}
+	empty := NewMonitor(1, 4)
+	if empty.MeanBusyCores() != 0 || empty.MeanGrayWords() != 0 {
+		t.Fatal("empty monitor averages not zero")
+	}
+}

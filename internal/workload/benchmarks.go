@@ -1,0 +1,334 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Spec is a named benchmark workload.
+type Spec struct {
+	Name string
+	// Desc summarizes the graph shape and the paper property it reproduces.
+	Desc string
+	// Plan builds the object graph. scale ≥ 1 multiplies the problem size;
+	// seed drives all randomized choices deterministically.
+	Plan func(scale int, seed int64) *Plan
+}
+
+// The registry of paper benchmarks, in the order of the paper's tables.
+var specs = []Spec{
+	{
+		Name: "compress",
+		Desc: "chain of large buffer objects; highly linear graph, no object-level parallelism beyond ~2",
+		Plan: compressPlan,
+	},
+	{
+		Name: "cup",
+		Desc: "parser tables with enormous breadth; gray population overflows the header FIFO",
+		Plan: cupPlan,
+	},
+	{
+		Name: "db",
+		Desc: "index pages and records with a shared string pool; scales well",
+		Plan: dbPlan,
+	},
+	{
+		Name: "javac",
+		Desc: "AST whose nodes reference a few hot symbol-table hubs; heavy header-lock contention",
+		Plan: javacPlan,
+	},
+	{
+		Name: "javacc",
+		Desc: "wide parse tree; scales well",
+		Plan: javaccPlan,
+	},
+	{
+		Name: "jflex",
+		Desc: "long chain of DFA states with small bushy transition tables; limited parallelism",
+		Plan: jflexPlan,
+	},
+	{
+		Name: "jlisp",
+		Desc: "small heap of cons cells and atoms; the smallest benchmark",
+		Plan: jlispPlan,
+	},
+	{
+		Name: "search",
+		Desc: "binary search tree degenerated to a path by sorted insertion; no parallelism",
+		Plan: searchPlan,
+	},
+	{
+		Name: "blob",
+		Desc: "a handful of huge buffer objects; object-level parallelism is bounded by the object count, sub-object strides are not",
+		Plan: blobPlan,
+	},
+}
+
+// Names returns the benchmark names in table order.
+func Names() []string {
+	n := make([]string, len(specs))
+	for i, s := range specs {
+		n[i] = s.Name
+	}
+	return n
+}
+
+// Get returns the named benchmark spec.
+func Get(name string) (Spec, error) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	all := Names()
+	sort.Strings(all)
+	return Spec{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, all)
+}
+
+// All returns every benchmark spec in table order.
+func All() []Spec { return append([]Spec(nil), specs...) }
+
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// compressPlan models the SPEC compress loop: a chain of compression-buffer
+// objects, each holding a large data block and a small auxiliary leaf. The
+// chain serializes discovery, so at most ~two objects are in flight: the
+// paper's Table I shows the work list almost never empty at 2 cores yet
+// ~99 % empty at 4+, with no significant speedup (Fig. 5).
+func compressPlan(scale int, seed int64) *Plan {
+	rng := newRNG(seed)
+	p := &Plan{}
+	n := 15000 * scale
+	head := p.Chain(n, 1, 3)
+	p.AddRoot(head)
+	p.sprinkleGarbage(rng, n/3, 8)
+	p.FillData(rng)
+	return p
+}
+
+// searchPlan models a binary search tree built by sorted insertion: a pure
+// path of two-pointer nodes. Discovery is fully serialized (Table I: 73.7 %
+// empty already at 2 cores).
+func searchPlan(scale int, seed int64) *Plan {
+	rng := newRNG(seed)
+	p := &Plan{}
+	root := p.DegeneratePath(15000*scale, 0)
+	p.AddRoot(root)
+	p.sprinkleGarbage(rng, 2000*scale, 4)
+	p.FillData(rng)
+	return p
+}
+
+// cupPlan models the CUP parser generator's action tables: a root table
+// fanning out to second-level tables fanning out to tens of thousands of
+// small entries. The gray population peaks far above the 32k-entry header
+// FIFO, forcing scan-critical-section memory loads (Table II: cup is the
+// benchmark with significant scan-lock stalls).
+func cupPlan(scale int, seed int64) *Plan {
+	rng := newRNG(seed)
+	p := &Plan{}
+	const fan1 = 160
+	fan2 := 280 * scale
+	root := p.NewObj(fan1, 2)
+	for i := 0; i < fan1; i++ {
+		t := p.NewObj(fan2, 2)
+		p.Link(root, i, t)
+		for j := 0; j < fan2; j++ {
+			leaf := p.NewObj(0, 2)
+			p.Link(t, j, leaf)
+		}
+	}
+	p.AddRoot(root)
+	p.sprinkleGarbage(rng, 4000, 4)
+	p.FillData(rng)
+	return p
+}
+
+// dbPlan models an in-memory database: chained index pages referencing
+// fixed-shape records, whose key/value fields point into a shared string
+// pool. Wide fan-out at every level; scales well.
+func dbPlan(scale int, seed int64) *Plan {
+	rng := newRNG(seed)
+	p := &Plan{}
+	nStrings := 2048
+	strings := make([]int, nStrings)
+	for i := range strings {
+		strings[i] = p.NewObj(0, 2+rng.Intn(8))
+	}
+	const pageFan = 128
+	nPages := 56 * scale
+	var firstPage, prevPage = -1, -1
+	for pg := 0; pg < nPages; pg++ {
+		page := p.NewObj(pageFan+1, 4) // slot 0: next page
+		if prevPage >= 0 {
+			p.Link(prevPage, 0, page)
+		} else {
+			firstPage = page
+		}
+		prevPage = page
+		for r := 0; r < pageFan; r++ {
+			rec := p.NewObj(2, 2)
+			p.Link(rec, 0, strings[rng.Intn(nStrings)])
+			p.Link(rec, 1, strings[rng.Intn(nStrings)])
+			p.Link(page, 1+r, rec)
+		}
+	}
+	p.AddRoot(firstPage)
+	p.sprinkleGarbage(rng, 3000*scale, 6)
+	p.FillData(rng)
+	return p
+}
+
+// javacPlan models a compiler's AST plus symbol table: a bushy expression
+// tree whose every node also references one of a handful of hot symbol
+// objects, with heavily skewed popularity. Many objects referencing few
+// objects is exactly the situation the paper identifies as the source of
+// javac's header-lock stalls (Table II), and the target of the unlocked
+// mark-read optimization.
+func javacPlan(scale int, seed int64) *Plan {
+	rng := newRNG(seed)
+	p := &Plan{}
+	const nSyms = 16
+	syms := make([]int, nSyms)
+	for i := range syms {
+		syms[i] = p.NewObj(1, 6) // symbols link to a shared scope object
+	}
+	scope := p.NewObj(0, 8)
+	for _, s := range syms {
+		p.Link(s, 0, scope)
+	}
+	nNodes := 15000 * scale
+	// Build a random bushy tree over the AST nodes: each node has 2 child
+	// slots plus 1 symbol slot.
+	nodes := make([]int, nNodes)
+	for i := range nodes {
+		nodes[i] = p.NewObj(3, 2)
+		p.Link(nodes[i], 2, syms[zipf(rng, nSyms)])
+	}
+	for i := 1; i < nNodes; i++ {
+		parent := nodes[rng.Intn(i)]
+		slot := rng.Intn(2)
+		// Chain into free slots; if occupied, descend once then give up in
+		// favour of keeping the tree bushy and shallow.
+		if p.Objs[parent].Ptrs[slot] >= 0 {
+			slot = 1 - slot
+		}
+		if p.Objs[parent].Ptrs[slot] >= 0 {
+			parent = p.Objs[parent].Ptrs[slot]
+			slot = rng.Intn(2)
+			if p.Objs[parent].Ptrs[slot] >= 0 {
+				slot = 1 - slot
+			}
+		}
+		if p.Objs[parent].Ptrs[slot] < 0 {
+			p.Link(parent, slot, nodes[i])
+		} else {
+			// Last resort: hang it off the scope-free symbol slot of a
+			// random earlier node's unused child slot chain — make it a
+			// root so it is not lost.
+			p.AddRoot(nodes[i])
+		}
+	}
+	p.AddRoot(nodes[0])
+	p.sprinkleGarbage(rng, 4000*scale, 4)
+	p.FillData(rng)
+	return p
+}
+
+// javaccPlan models JavaCC's wide parse tree: branching factor 8, shallow,
+// with leaf token objects. Plenty of object-level parallelism.
+func javaccPlan(scale int, seed int64) *Plan {
+	rng := newRNG(seed)
+	p := &Plan{}
+	root := p.NewObj(scale, 2)
+	for i := 0; i < scale; i++ {
+		t := p.BalancedTree(8, 5, 1, 6)
+		p.Link(root, i, t)
+	}
+	p.AddRoot(root)
+	p.sprinkleGarbage(rng, 5000, 4)
+	p.FillData(rng)
+	return p
+}
+
+// jflexPlan models JFlex's scanner generator: a long chain of DFA states,
+// each carrying a small bushy transition table. Parallelism is limited to
+// the burst width, so starvation appears only at higher core counts
+// (Table I: 5.5 % empty at 8 cores, 35.4 % at 16).
+func jflexPlan(scale int, seed int64) *Plan {
+	rng := newRNG(seed)
+	p := &Plan{}
+	nStates := 1100 * scale
+	var head, prev = -1, -1
+	for i := 0; i < nStates; i++ {
+		st := p.NewObj(2, 4) // slot 0: next state, slot 1: transition table
+		table := p.BalancedTree(4, 1, 2, 5)
+		p.Link(st, 1, table)
+		if prev >= 0 {
+			p.Link(prev, 0, st)
+		} else {
+			head = st
+		}
+		prev = st
+	}
+	p.AddRoot(head)
+	p.sprinkleGarbage(rng, 1500*scale, 4)
+	p.FillData(rng)
+	return p
+}
+
+// blobPlan is the extension workload for the Section VII stride experiment:
+// a handful of huge buffer objects (image planes, compression ring buffers)
+// under a single directory object. The object count bounds the object-level
+// parallelism — with six objects, adding cores beyond six is useless no
+// matter how the work list is managed — while stride (cache-line)
+// granularity lets all cores share each bulk copy. (Note that *chains* of
+// large objects do not defeat object granularity: the next pointer sits at
+// the start of the body, so discovery cascades far ahead of the copies.)
+func blobPlan(scale int, seed int64) *Plan {
+	rng := newRNG(seed)
+	p := &Plan{}
+	n := 6 * scale
+	dir := p.NewObj(n, 2)
+	for i := 0; i < n; i++ {
+		blob := p.NewObj(0, 3800)
+		p.Link(dir, i, blob)
+	}
+	p.AddRoot(dir)
+	p.sprinkleGarbage(rng, 32*scale, 32)
+	p.FillData(rng)
+	return p
+}
+
+// jlispPlan models a small Lisp interpreter heap: cons cells and atoms in
+// random trees. The smallest benchmark (the paper's jlisp collection cycle
+// is an order of magnitude shorter than the others).
+func jlispPlan(scale int, seed int64) *Plan {
+	rng := newRNG(seed)
+	p := &Plan{}
+	nAtoms := 400 * scale
+	atoms := make([]int, nAtoms)
+	for i := range atoms {
+		atoms[i] = p.NewObj(0, 1)
+	}
+	var build func(depth int) int
+	build = func(depth int) int {
+		if depth == 0 || rng.Intn(8) == 0 {
+			return atoms[rng.Intn(nAtoms)]
+		}
+		c := p.NewObj(2, 0)
+		p.Link(c, 0, build(depth-1))
+		p.Link(c, 1, build(depth-1))
+		return c
+	}
+	nLists := 24 * scale
+	root := p.NewObj(nLists, 0)
+	for i := 0; i < nLists; i++ {
+		p.Link(root, i, build(7))
+	}
+	p.AddRoot(root)
+	p.sprinkleGarbage(rng, 500*scale, 2)
+	p.FillData(rng)
+	return p
+}

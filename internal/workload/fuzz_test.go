@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadPlan checks that arbitrary input never panics the plan decoder
+// and that every accepted plan actually builds a structurally valid heap.
+func FuzzReadPlan(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WritePlan(&seed, jlispPlan(1, 1))
+	f.Add(seed.String())
+	f.Add(`{"Objs":[{"Pi":1,"Delta":1,"Ptrs":[0],"Data":[7]}],"Roots":[0,-1]}`)
+	f.Add(`{"Objs":[],"Roots":[]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"Objs":[{"Pi":-1}]}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := ReadPlan(strings.NewReader(in))
+		if err != nil {
+			return // rejected: fine
+		}
+		h, err := p.BuildHeap(2.0)
+		if err != nil {
+			// Accepted plans must at least be realizable in a heap sized
+			// for them.
+			t.Fatalf("validated plan failed to build: %v", err)
+		}
+		if err := h.CheckIntegrity(); err != nil {
+			t.Fatalf("validated plan built a corrupt heap: %v", err)
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hwgc/internal/object"
+)
+
+// Plans serialize as plain JSON ({"Objs":[{"Pi":..,"Delta":..,"Ptrs":[..],
+// "Data":[..]}],"Roots":[..]}), so users can define custom workloads in
+// files and run them through cmd/gcsim -plan. ReadPlan validates the
+// structure before returning it.
+
+// WritePlan encodes p as JSON.
+func WritePlan(w io.Writer, p *Plan) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(p)
+}
+
+// ReadPlan decodes and validates a JSON plan.
+func ReadPlan(r io.Reader) (*Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("workload: decoding plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Validate checks the structural invariants a plan must satisfy before it
+// can be realized into a heap: object shapes within the header encoding's
+// bounds, slot lists matching the declared shapes, and every pointer or
+// root index either -1 (nil) or a valid object index.
+func (p *Plan) Validate() error {
+	for i := range p.Objs {
+		o := &p.Objs[i]
+		if o.Pi < 0 || o.Pi > object.MaxPi {
+			return fmt.Errorf("workload: object %d: π=%d out of range [0,%d]", i, o.Pi, object.MaxPi)
+		}
+		if o.Delta < 0 || o.Delta > object.MaxDelta {
+			return fmt.Errorf("workload: object %d: δ=%d out of range [0,%d]", i, o.Delta, object.MaxDelta)
+		}
+		if len(o.Ptrs) != o.Pi {
+			return fmt.Errorf("workload: object %d: %d pointer entries for π=%d", i, len(o.Ptrs), o.Pi)
+		}
+		if len(o.Data) != o.Delta {
+			return fmt.Errorf("workload: object %d: %d data words for δ=%d", i, len(o.Data), o.Delta)
+		}
+		for s, t := range o.Ptrs {
+			if t < -1 || t >= len(p.Objs) {
+				return fmt.Errorf("workload: object %d pointer %d: target %d out of range", i, s, t)
+			}
+		}
+	}
+	if len(p.Objs) == 0 {
+		return fmt.Errorf("workload: plan has no objects")
+	}
+	for i, r := range p.Roots {
+		if r < -1 || r >= len(p.Objs) {
+			return fmt.Errorf("workload: root %d: target %d out of range", i, r)
+		}
+	}
+	return nil
+}

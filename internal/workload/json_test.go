@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	orig := jlispPlan(1, 5)
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatal("round trip changed the plan")
+	}
+	// And it still builds a valid heap.
+	if _, err := got.BuildHeap(2.0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadPlanValidation(t *testing.T) {
+	cases := map[string]string{
+		"empty":           `{"Objs":[],"Roots":[]}`,
+		"pi mismatch":     `{"Objs":[{"Pi":2,"Delta":0,"Ptrs":[-1],"Data":[]}],"Roots":[0]}`,
+		"delta mismatch":  `{"Objs":[{"Pi":0,"Delta":1,"Ptrs":[],"Data":[]}],"Roots":[0]}`,
+		"wild pointer":    `{"Objs":[{"Pi":1,"Delta":0,"Ptrs":[5],"Data":[]}],"Roots":[0]}`,
+		"negative target": `{"Objs":[{"Pi":1,"Delta":0,"Ptrs":[-2],"Data":[]}],"Roots":[0]}`,
+		"wild root":       `{"Objs":[{"Pi":0,"Delta":0,"Ptrs":[],"Data":[]}],"Roots":[3]}`,
+		"pi out of range": `{"Objs":[{"Pi":99999,"Delta":0,"Ptrs":[],"Data":[]}],"Roots":[0]}`,
+		"unknown field":   `{"Objs":[],"Roots":[],"Bogus":1}`,
+		"not json":        `hello`,
+	}
+	for name, in := range cases {
+		if _, err := ReadPlan(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+
+	ok := `{"Objs":[{"Pi":1,"Delta":1,"Ptrs":[0],"Data":[7]}],"Roots":[0,-1]}`
+	p, err := ReadPlan(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if p.Objs[0].Ptrs[0] != 0 || p.Objs[0].Data[0] != 7 {
+		t.Fatal("content lost")
+	}
+}
