@@ -1,0 +1,272 @@
+// Command gcload drives a running gcserved instance with concurrent
+// POST /v1/collect (or /v1/sweep) traffic and reports achieved throughput,
+// status-code counts, latency percentiles and response byte-identity — so
+// "serves heavy traffic" is a measured claim, not a slogan.
+//
+// Each in-flight request rotates through -distinct seed variants; with the
+// default settings repeats of each variant verify the server's result cache
+// returns byte-identical bodies. 429 responses (deliberate backpressure)
+// are counted separately and are not errors.
+//
+// Usage:
+//
+//	gcload [-url http://localhost:8080] [-n 1000] [-c 100] [-qps 0]
+//	       [-bench jlisp] [-cores 8] [-scale 1] [-distinct 8]
+//	       [-sweep] [-timeout 30s]
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hwgc"
+)
+
+type loadConfig struct {
+	url      string
+	requests int
+	workers  int
+	qps      int
+	bench    string
+	cores    int
+	scale    int
+	distinct int
+	sweep    bool
+	timeout  time.Duration
+}
+
+func main() {
+	var cfg loadConfig
+	flag.StringVar(&cfg.url, "url", "http://localhost:8080", "gcserved base URL")
+	flag.IntVar(&cfg.requests, "n", 1000, "total requests to send")
+	flag.IntVar(&cfg.workers, "c", 100, "concurrent in-flight requests")
+	flag.IntVar(&cfg.qps, "qps", 0, "target request rate (0 = as fast as possible)")
+	flag.StringVar(&cfg.bench, "bench", "jlisp", "benchmark workload to request")
+	flag.IntVar(&cfg.cores, "cores", 8, "coprocessor cores per request")
+	flag.IntVar(&cfg.scale, "scale", 1, "workload scale per request")
+	flag.IntVar(&cfg.distinct, "distinct", 8, "distinct seed variants to rotate through")
+	flag.BoolVar(&cfg.sweep, "sweep", false, "POST /v1/sweep instead of /v1/collect")
+	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request client timeout")
+	flag.Parse()
+
+	rep, err := runLoad(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gcload:", err)
+		os.Exit(1)
+	}
+	rep.print(os.Stdout)
+	if rep.failed() {
+		os.Exit(1)
+	}
+}
+
+// report aggregates the outcome of one load run.
+type report struct {
+	cfg       loadConfig
+	elapsed   time.Duration
+	statuses  map[int]int
+	transport int // client-side errors (dial, timeout, ...)
+	mismatch  int // cache responses that were not byte-identical
+	latencies []time.Duration
+	bytes     int64
+}
+
+func (r *report) failed() bool {
+	if r.transport > 0 || r.mismatch > 0 {
+		return true
+	}
+	for code, n := range r.statuses {
+		// 429 is deliberate backpressure, not a failure.
+		if n > 0 && code != http.StatusOK && code != http.StatusTooManyRequests {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *report) percentile(q float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(r.latencies))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(r.latencies) {
+		i = len(r.latencies) - 1
+	}
+	return r.latencies[i]
+}
+
+func (r *report) print(w io.Writer) {
+	endpoint := "/v1/collect"
+	if r.cfg.sweep {
+		endpoint = "/v1/sweep"
+	}
+	fmt.Fprintf(w, "gcload: POST %s bench=%s cores=%d scale=%d distinct-seeds=%d\n",
+		endpoint, r.cfg.bench, r.cfg.cores, r.cfg.scale, r.cfg.distinct)
+	secs := r.elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	fmt.Fprintf(w, "requests %d in %.2fs -> %.1f req/s, concurrency %d, %.1f MiB read\n",
+		r.cfg.requests, r.elapsed.Seconds(), float64(r.cfg.requests)/secs,
+		r.cfg.workers, float64(r.bytes)/(1<<20))
+	codes := make([]int, 0, len(r.statuses))
+	for c := range r.statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	fmt.Fprintf(w, "status  ")
+	for _, c := range codes {
+		fmt.Fprintf(w, " %d x%d", c, r.statuses[c])
+	}
+	if r.transport > 0 {
+		fmt.Fprintf(w, " transport-errors x%d", r.transport)
+	}
+	fmt.Fprintln(w)
+	if r.mismatch > 0 {
+		fmt.Fprintf(w, "identity FAILED: %d responses differed from the first response for their request\n", r.mismatch)
+	} else {
+		fmt.Fprintf(w, "identity OK: repeated requests returned byte-identical responses\n")
+	}
+	if len(r.latencies) > 0 {
+		fmt.Fprintf(w, "latency  p50 %s  p95 %s  p99 %s  max %s\n",
+			r.percentile(0.50).Round(time.Microsecond),
+			r.percentile(0.95).Round(time.Microsecond),
+			r.percentile(0.99).Round(time.Microsecond),
+			r.latencies[len(r.latencies)-1].Round(time.Microsecond))
+	}
+}
+
+// body returns the request body for seed variant v. Bodies are canonical
+// requests, so the server's cache key for variant v is stable.
+func (cfg *loadConfig) body(v int) ([]byte, error) {
+	seed := int64(v + 1)
+	if cfg.sweep {
+		req := hwgc.SweepRequest{Bench: cfg.bench, Scale: cfg.scale, Seed: seed,
+			Config: hwgc.Config{Cores: cfg.cores}}
+		return req.CanonicalJSON()
+	}
+	req := hwgc.CollectRequest{Bench: cfg.bench, Scale: cfg.scale, Seed: seed,
+		Config: hwgc.Config{Cores: cfg.cores}}
+	return req.CanonicalJSON()
+}
+
+func runLoad(cfg loadConfig) (*report, error) {
+	if cfg.requests < 1 || cfg.workers < 1 {
+		return nil, fmt.Errorf("need -n >= 1 and -c >= 1")
+	}
+	if cfg.distinct < 1 {
+		cfg.distinct = 1
+	}
+	if cfg.workers > cfg.requests {
+		cfg.workers = cfg.requests
+	}
+	endpoint := cfg.url + "/v1/collect"
+	if cfg.sweep {
+		endpoint = cfg.url + "/v1/sweep"
+	}
+	bodies := make([][]byte, cfg.distinct)
+	for v := range bodies {
+		b, err := cfg.body(v)
+		if err != nil {
+			return nil, err
+		}
+		bodies[v] = b
+	}
+
+	client := &http.Client{
+		Timeout: cfg.timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.workers,
+			MaxIdleConnsPerHost: cfg.workers,
+		},
+	}
+
+	// Optional QPS pacing: a shared token channel fed at the target rate.
+	var pace chan struct{}
+	if cfg.qps > 0 {
+		pace = make(chan struct{})
+		interval := time.Second / time.Duration(cfg.qps)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		go func() {
+			for range tick.C {
+				select {
+				case pace <- struct{}{}:
+				default: // nobody waiting; don't bank tokens
+				}
+			}
+		}()
+	}
+
+	rep := &report{cfg: cfg, statuses: make(map[int]int)}
+	var (
+		next      atomic.Int64 // next request index to issue
+		mu        sync.Mutex   // guards rep + firstSums
+		firstSums = make(map[int][32]byte, cfg.distinct)
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.requests {
+					return
+				}
+				if pace != nil {
+					<-pace
+				}
+				v := i % cfg.distinct
+				t0 := time.Now()
+				resp, err := client.Post(endpoint, "application/json", bytes.NewReader(bodies[v]))
+				if err != nil {
+					mu.Lock()
+					rep.transport++
+					mu.Unlock()
+					continue
+				}
+				data, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				lat := time.Since(t0)
+				mu.Lock()
+				if rerr != nil {
+					rep.transport++
+				} else {
+					rep.statuses[resp.StatusCode]++
+					rep.bytes += int64(len(data))
+					rep.latencies = append(rep.latencies, lat)
+					if resp.StatusCode == http.StatusOK {
+						sum := sha256.Sum256(data)
+						if prev, ok := firstSums[v]; !ok {
+							firstSums[v] = sum
+						} else if prev != sum {
+							rep.mismatch++
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	rep.elapsed = time.Since(start)
+	sort.Slice(rep.latencies, func(a, b int) bool { return rep.latencies[a] < rep.latencies[b] })
+	return rep, nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hwgc/internal/server"
+)
+
+// TestLoadAgainstLiveServer is the acceptance check of the serving
+// subsystem end to end: gcload drives a real in-process gcserved instance
+// at ≥100 concurrent in-flight requests; the only tolerated non-200
+// outcome is deliberate 429 backpressure, and repeated requests must come
+// back byte-identical.
+func TestLoadAgainstLiveServer(t *testing.T) {
+	srv := server.New(server.Options{Workers: 4, QueueDepth: 64})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("server drain: %v", err)
+		}
+	}()
+
+	rep, err := runLoad(loadConfig{
+		url:      ts.URL,
+		requests: 400,
+		workers:  120,
+		bench:    "jlisp",
+		cores:    4,
+		scale:    1,
+		distinct: 4,
+		timeout:  60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.failed() {
+		rep.print(testWriter{t})
+		t.Fatal("load run reported failure")
+	}
+	if rep.statuses[200] == 0 {
+		t.Fatalf("no successful requests: %v", rep.statuses)
+	}
+	if rep.statuses[200]+rep.statuses[429] != 400 {
+		t.Fatalf("unexpected outcomes: %v (transport errors %d)", rep.statuses, rep.transport)
+	}
+	if rep.mismatch != 0 {
+		t.Fatalf("%d responses were not byte-identical to their first occurrence", rep.mismatch)
+	}
+	if len(rep.latencies) != 400 {
+		t.Fatalf("recorded %d latencies, want 400", len(rep.latencies))
+	}
+	if rep.percentile(0.5) <= 0 || rep.percentile(0.99) < rep.percentile(0.5) {
+		t.Fatalf("implausible percentiles: p50 %s p99 %s", rep.percentile(0.5), rep.percentile(0.99))
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	if _, err := runLoad(loadConfig{requests: 0, workers: 1}); err == nil {
+		t.Error("zero requests accepted")
+	}
+	if _, err := runLoad(loadConfig{requests: 1, workers: 1, bench: "no-such-bench"}); err == nil {
+		t.Error("unknown benchmark accepted (request canonicalization should reject it)")
+	}
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Log(string(p))
+	return len(p), nil
+}

@@ -1,0 +1,99 @@
+// Command gcserved serves the hwgc simulator over HTTP/JSON: a fixed worker
+// pool over a bounded job queue with 429 backpressure, a content-addressed
+// LRU result cache (simulations are deterministic, so hits are
+// byte-identical), per-request deadlines, Prometheus-format metrics and
+// graceful shutdown that drains admitted jobs.
+//
+// Usage:
+//
+//	gcserved [-addr :8080] [-workers N] [-queue 64] [-cache-entries 1024]
+//	         [-cache-mb 64] [-timeout 60s] [-max-scale 64]
+//
+// Endpoints:
+//
+//	POST /v1/collect   {"Bench":"javac","Scale":1,"Seed":42,"Config":{"Cores":16}}
+//	POST /v1/sweep     {"Bench":"javac","Cores":[1,2,4,8,16],"Config":{}}
+//	GET  /v1/workloads
+//	GET  /healthz
+//	GET  /metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hwgc/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "bounded job queue depth")
+		cacheEntries = flag.Int("cache-entries", 1024, "result cache entry bound")
+		cacheMB      = flag.Int64("cache-mb", 64, "result cache size bound in MiB")
+		timeout      = flag.Duration("timeout", 60*time.Second, "per-request deadline (queue wait + simulation)")
+		maxScale     = flag.Int("max-scale", 64, "largest accepted workload scale (-1 = unlimited)")
+		drain        = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Parse()
+
+	if err := run(*addr, server.Options{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+		CacheBytes:   *cacheMB << 20,
+		Timeout:      *timeout,
+		MaxScale:     *maxScale,
+	}, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "gcserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, opts server.Options, drain time.Duration) error {
+	srv := server.New(opts)
+	srv.Start()
+
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("gcserved: listening on %s (workers %d, queue %d)", addr, srv.Workers(), srv.Queue().Cap())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("gcserved: shutting down, draining for up to %s", drain)
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Printf("gcserved: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("gcserved: drained cleanly")
+	return nil
+}

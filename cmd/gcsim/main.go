@@ -6,7 +6,11 @@
 //
 //	gcsim -bench javac -cores 16 [-scale 1] [-seed 42] [-latency 3]
 //	      [-extra-latency 0] [-bandwidth 6] [-fifo 32768] [-no-fifo]
-//	      [-markopt] [-verify] [-trace trace.csv]
+//	      [-markopt] [-verify] [-trace trace.csv] [-json]
+//
+// With -json the human-readable report is replaced by the exact response
+// encoding the gcserved service returns from POST /v1/collect
+// (hwgc.CollectResponse), so scripts and the service speak one format.
 package main
 
 import (
@@ -37,6 +41,7 @@ func main() {
 		verify    = flag.Bool("verify", true, "verify the collection against the reference oracle")
 		traceOut  = flag.String("trace", "", "write a signal trace CSV to this file")
 		interval  = flag.Int64("trace-interval", 16, "cycles between trace samples")
+		jsonOut   = flag.Bool("json", false, "emit the gcserved /v1/collect response encoding instead of the report")
 	)
 	flag.Parse()
 
@@ -52,22 +57,45 @@ func main() {
 		StrideWords:         *stride,
 	}
 
-	if err := run(*bench, *planFile, *scale, *seed, cfg, *verify, *traceOut, *interval); err != nil {
+	var err error
+	if *jsonOut {
+		err = runJSON(*bench, *planFile, *scale, *seed, cfg, *verify, *traceOut)
+	} else {
+		err = run(*bench, *planFile, *scale, *seed, cfg, *verify, *traceOut, *interval)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gcsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runJSON runs the collection through the same canonical request/response
+// path the gcserved service uses and writes the service's wire encoding.
+func runJSON(bench, planFile string, scale int, seed int64, cfg hwgc.Config, verify bool, traceOut string) error {
+	if traceOut != "" {
+		return fmt.Errorf("-json and -trace cannot be combined")
+	}
+	req := hwgc.CollectRequest{Bench: bench, Scale: scale, Seed: seed, Config: cfg, Verify: verify}
+	if planFile != "" {
+		plan, err := hwgc.ReadPlanFile(planFile)
+		if err != nil {
+			return err
+		}
+		req.Bench = ""
+		req.Plan = plan
+	}
+	resp, err := hwgc.NewCollectResponse(req)
+	if err != nil {
+		return err
+	}
+	return resp.Encode(os.Stdout)
 }
 
 func run(bench, planFile string, scale int, seed int64, cfg hwgc.Config, verify bool, traceOut string, interval int64) error {
 	var h *hwgc.Heap
 	var err error
 	if planFile != "" {
-		f, ferr := os.Open(planFile)
-		if ferr != nil {
-			return ferr
-		}
-		plan, perr := hwgc.ReadPlan(f)
-		f.Close()
+		plan, perr := hwgc.ReadPlanFile(planFile)
 		if perr != nil {
 			return perr
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -54,6 +55,35 @@ func TestRunPlanFile(t *testing.T) {
 	})
 	if !strings.Contains(out, "2 objects") {
 		t.Errorf("plan collection output wrong:\n%s", out)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := runJSON("jlisp", "", 1, 42, hwgc.Config{Cores: 4}, true, ""); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var resp hwgc.CollectResponse
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if resp.Bench != "jlisp" || resp.Key == "" || resp.Result.Stats.Cycles <= 0 {
+		t.Fatalf("-json content wrong: %+v", resp)
+	}
+	// The encoding is the service's: the same request must produce the
+	// same Key the server would cache under.
+	req := hwgc.CollectRequest{Bench: "jlisp", Scale: 1, Seed: 42, Config: hwgc.Config{Cores: 4}, Verify: true}
+	key, err := req.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != resp.Key {
+		t.Fatalf("CLI key %s != canonical request key %s", resp.Key, key)
+	}
+
+	if err := runJSON("jlisp", "", 1, 42, hwgc.Config{Cores: 4}, false, "trace.csv"); err == nil {
+		t.Error("-json with -trace accepted")
 	}
 }
 

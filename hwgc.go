@@ -42,6 +42,7 @@ import (
 	"hwgc/internal/machine"
 	"hwgc/internal/mutator"
 	"hwgc/internal/object"
+	"hwgc/internal/plan"
 	"hwgc/internal/trace"
 	"hwgc/internal/workload"
 )
@@ -188,11 +189,16 @@ func NewMutator(semiWords int, cfg Config) (*Mutator, error) {
 func Workloads() []string { return workload.Names() }
 
 // ReadPlan decodes and validates a JSON-encoded object-graph plan (a custom
-// workload); see WritePlan for the format.
-func ReadPlan(r io.Reader) (*Plan, error) { return workload.ReadPlan(r) }
+// workload); see WritePlan for the format. The codec (one implementation,
+// shared by the CLI, the gcserved service and the fuzz target) lives in
+// internal/plan.
+func ReadPlan(r io.Reader) (*Plan, error) { return plan.Read(r) }
+
+// ReadPlanFile decodes and validates the JSON plan stored at path.
+func ReadPlanFile(path string) (*Plan, error) { return plan.ReadFile(path) }
 
 // WritePlan encodes a plan as JSON.
-func WritePlan(w io.Writer, p *Plan) error { return workload.WritePlan(w, p) }
+func WritePlan(w io.Writer, p *Plan) error { return plan.Write(w, p) }
 
 // Workload returns the named benchmark workload.
 func Workload(name string) (WorkloadSpec, error) { return workload.Get(name) }
@@ -208,6 +214,13 @@ func BuildWorkload(name string, scale int, seed int64) (*Heap, error) {
 // verifying the result against the reference oracle when verify is set.
 func RunBenchmark(name string, scale int, seed int64, cfg Config, verify bool) (RunResult, error) {
 	return core.RunBenchmark(name, scale, seed, cfg, verify)
+}
+
+// RunPlan builds a heap from a custom plan and runs one collection with cfg,
+// verifying against the reference oracle when verify is set. name labels the
+// result (the CLI uses the plan's file name; the server uses "plan").
+func RunPlan(name string, p *Plan, cfg Config, verify bool) (RunResult, error) {
+	return core.RunPlan(name, p, cfg, verify)
 }
 
 // SweepCores runs the named benchmark once per core count on identically

@@ -106,6 +106,31 @@ func RunBenchmark(bench string, scale int, seed int64, cfg Config, verify bool) 
 	}, nil
 }
 
+// RunPlan builds a heap from a custom (user-supplied) plan and runs one
+// collection with cfg, optionally verified. name labels the result.
+func RunPlan(name string, plan *workload.Plan, cfg Config, verify bool) (RunResult, error) {
+	if err := plan.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	h, err := plan.BuildHeap(DefaultHeadroom)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("core: building plan: %w", err)
+	}
+	st, err := CollectOnce(h, cfg, verify)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("core: %s: %w", name, err)
+	}
+	liveObj, liveWords := plan.LiveStats()
+	return RunResult{
+		Benchmark:   name,
+		Stats:       st,
+		PlanObjects: len(plan.Objs),
+		PlanWords:   plan.Words(),
+		LiveObjects: liveObj,
+		LiveWords:   liveWords,
+	}, nil
+}
+
 // SweepCores runs the benchmark once per core count (on identically built
 // fresh heaps) and returns the results in order. This is the measurement
 // underlying the paper's Figures 5 and 6 and Table I.

@@ -1,4 +1,4 @@
-package workload
+package plan
 
 import (
 	"bytes"
@@ -6,18 +6,19 @@ import (
 	"testing"
 )
 
-// FuzzReadPlan checks that arbitrary input never panics the plan decoder
-// and that every accepted plan actually builds a structurally valid heap.
-func FuzzReadPlan(f *testing.F) {
+// FuzzRead checks that arbitrary input never panics the plan decoder and
+// that every accepted plan actually builds a structurally valid heap.
+func FuzzRead(f *testing.F) {
 	var seed bytes.Buffer
-	_ = WritePlan(&seed, jlispPlan(1, 1))
+	spec := jlisp(f, 1)
+	_ = Write(&seed, spec)
 	f.Add(seed.String())
 	f.Add(`{"Objs":[{"Pi":1,"Delta":1,"Ptrs":[0],"Data":[7]}],"Roots":[0,-1]}`)
 	f.Add(`{"Objs":[],"Roots":[]}`)
 	f.Add(`not json at all`)
 	f.Add(`{"Objs":[{"Pi":-1}]}`)
 	f.Fuzz(func(t *testing.T, in string) {
-		p, err := ReadPlan(strings.NewReader(in))
+		p, err := Read(strings.NewReader(in))
 		if err != nil {
 			return // rejected: fine
 		}

@@ -1,0 +1,50 @@
+// Package plan is the single implementation of the JSON object-graph plan
+// encoding shared by every consumer of custom workloads: the gcsim CLI
+// (-plan files), the gcserved HTTP service (inline "Plan" request bodies),
+// the fuzz target, and the public hwgc.ReadPlan/WritePlan API.
+//
+// Plans serialize as plain JSON ({"Objs":[{"Pi":..,"Delta":..,"Ptrs":[..],
+// "Data":[..]}],"Roots":[..]}). Decoding is strict (unknown fields are
+// rejected) and every accepted plan has been validated against the
+// structural invariants of workload.Plan.Validate, so a decoded plan is
+// always realizable into a heap.
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"hwgc/internal/workload"
+)
+
+// Write encodes p as JSON.
+func Write(w io.Writer, p *workload.Plan) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(p)
+}
+
+// Read decodes and validates a JSON plan.
+func Read(r io.Reader) (*workload.Plan, error) {
+	var p workload.Plan
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("plan: decoding: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ReadFile decodes and validates the JSON plan stored at path.
+func ReadFile(path string) (*workload.Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

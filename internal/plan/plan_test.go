@@ -1,19 +1,33 @@
-package workload
+package plan
 
 import (
 	"bytes"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+
+	"hwgc/internal/workload"
+
+	"os"
 )
 
-func TestPlanJSONRoundTrip(t *testing.T) {
-	orig := jlispPlan(1, 5)
-	var buf bytes.Buffer
-	if err := WritePlan(&buf, orig); err != nil {
+func jlisp(t testing.TB, scale int) *workload.Plan {
+	t.Helper()
+	spec, err := workload.Get("jlisp")
+	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadPlan(&buf)
+	return spec.Plan(scale, 5)
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	orig := jlisp(t, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +40,7 @@ func TestPlanJSONRoundTrip(t *testing.T) {
 	}
 }
 
-func TestReadPlanValidation(t *testing.T) {
+func TestReadValidation(t *testing.T) {
 	cases := map[string]string{
 		"empty":           `{"Objs":[],"Roots":[]}`,
 		"pi mismatch":     `{"Objs":[{"Pi":2,"Delta":0,"Ptrs":[-1],"Data":[]}],"Roots":[0]}`,
@@ -39,17 +53,39 @@ func TestReadPlanValidation(t *testing.T) {
 		"not json":        `hello`,
 	}
 	for name, in := range cases {
-		if _, err := ReadPlan(strings.NewReader(in)); err == nil {
+		if _, err := Read(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: accepted %q", name, in)
 		}
 	}
 
 	ok := `{"Objs":[{"Pi":1,"Delta":1,"Ptrs":[0],"Data":[7]}],"Roots":[0,-1]}`
-	p, err := ReadPlan(strings.NewReader(ok))
+	p, err := Read(strings.NewReader(ok))
 	if err != nil {
 		t.Fatalf("valid plan rejected: %v", err)
 	}
 	if p.Objs[0].Ptrs[0] != 0 || p.Objs[0].Data[0] != 7 {
 		t.Fatal("content lost")
+	}
+}
+
+func TestReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	var buf bytes.Buffer
+	if err := Write(&buf, jlisp(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Objs) == 0 {
+		t.Fatal("plan file read back empty")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
 	}
 }

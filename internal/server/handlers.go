@@ -1,0 +1,214 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hwgc"
+)
+
+// maxBodyBytes bounds request bodies; inline plans are the only large
+// payloads and 8 MiB of JSON is already a ~100k-object graph.
+const maxBodyBytes = 8 << 20
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusRecorder captures the final status code for the request counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an endpoint with request/status counting and, when
+// observeLatency is set, service-latency observation.
+func (s *Server) instrument(path string, observeLatency bool, h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.metrics.Request(path, rec.code)
+		if observeLatency {
+			s.metrics.Observe(time.Since(start))
+		}
+	}
+}
+
+// decodeJSON strictly decodes the request body into v.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "%s requires POST", r.URL.Path)
+		return false
+	}
+	return true
+}
+
+// serveJob is the shared serving path of the two POST endpoints: cache
+// lookup first (the zero-cost fast path — a hit never touches the queue),
+// then bounded admission with backpressure, then waiting under the
+// per-request deadline.
+func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, key, kind string, run func() ([]byte, error)) {
+	if body, ok := s.cache.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		writeResult(w, key, "HIT", body)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+	job := newJob(ctx, key, kind, run)
+	body, err := s.submit(ctx, job)
+	switch {
+	case err == nil:
+		writeResult(w, key, "MISS", body)
+	case errors.Is(err, ErrQueueFull):
+		s.metrics.queueFull.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Round(time.Second)/time.Second)))
+		writeError(w, http.StatusTooManyRequests, "job queue full (depth %d); retry later", s.queue.Cap())
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGatewayTimeout, "request deadline (%s) exceeded while %s", s.opts.Timeout, kind)
+	default:
+		writeError(w, http.StatusInternalServerError, "%s failed: %v", kind, err)
+	}
+}
+
+func writeResult(w http.ResponseWriter, key, cacheState string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheState)
+	w.Header().Set("X-Cache-Key", key)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleCollect(w http.ResponseWriter, r *http.Request) {
+	s.instrument("/v1/collect", true, func(w http.ResponseWriter, r *http.Request) {
+		if !requirePost(w, r) {
+			return
+		}
+		var req hwgc.CollectRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		key, err := req.Key() // canonicalizes in place
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+			return
+		}
+		if s.opts.MaxScale > 0 && req.Scale > s.opts.MaxScale {
+			writeError(w, http.StatusBadRequest, "scale %d exceeds server limit %d", req.Scale, s.opts.MaxScale)
+			return
+		}
+		s.serveJob(w, r, key, "collect", func() ([]byte, error) { return s.runCollect(req) })
+	})(w, r)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.instrument("/v1/sweep", true, func(w http.ResponseWriter, r *http.Request) {
+		if !requirePost(w, r) {
+			return
+		}
+		var req hwgc.SweepRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		key, err := req.Key() // canonicalizes in place
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+			return
+		}
+		if s.opts.MaxScale > 0 && req.Scale > s.opts.MaxScale {
+			writeError(w, http.StatusBadRequest, "scale %d exceeds server limit %d", req.Scale, s.opts.MaxScale)
+			return
+		}
+		s.serveJob(w, r, key, "sweep", func() ([]byte, error) { return s.runSweep(req) })
+	})(w, r)
+}
+
+// workloadsBody is the GET /v1/workloads response.
+type workloadsBody struct {
+	Workloads  []string
+	Baselines  []string
+	CoreRange  [2]int
+	PaperCores []int
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	s.instrument("/v1/workloads", false, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, http.StatusMethodNotAllowed, "%s requires GET", r.URL.Path)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(workloadsBody{
+			Workloads:  hwgc.Workloads(),
+			Baselines:  hwgc.Baselines(),
+			CoreRange:  [2]int{1, 64},
+			PaperCores: hwgc.PaperCoreCounts,
+		})
+	})(w, r)
+}
+
+// healthBody is the GET /healthz response.
+type healthBody struct {
+	Status     string
+	Workers    int
+	QueueDepth int
+	QueueCap   int
+	CacheLen   int
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.instrument("/healthz", false, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(healthBody{
+			Status:     "ok",
+			Workers:    s.opts.Workers,
+			QueueDepth: s.queue.Depth(),
+			QueueCap:   s.queue.Cap(),
+			CacheLen:   s.cache.Len(),
+		})
+	})(w, r)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.instrument("/metrics", false, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.metrics.WritePrometheus(w, s.queue, s.cache)
+	})(w, r)
+}

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the server's hand-rolled counter set, exposed on /metrics in
+// Prometheus text exposition format. In the spirit of the paper's stall
+// accounting — every cycle a core cannot make progress is attributed to a
+// cause — every request the server cannot serve immediately is attributed
+// to one: queue full (rejections), queue wait + service time (latency
+// histogram), or deadline expiry (timeouts).
+type Metrics struct {
+	start time.Time
+
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	queueFull    atomic.Int64
+	timeouts     atomic.Int64
+	jobsStarted  atomic.Int64
+	jobsDone     atomic.Int64
+	jobsSkipped  atomic.Int64 // jobs whose context expired before a worker picked them up
+	inflightJobs atomic.Int64
+
+	mu       sync.Mutex
+	requests map[string]int64 // by path
+	statuses map[int]int64    // by HTTP status code
+	lat      latencyHist
+}
+
+// NewMetrics returns an empty counter set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:    time.Now(),
+		requests: make(map[string]int64),
+		statuses: make(map[int]int64),
+	}
+}
+
+// Request records one HTTP request against path with the final status code.
+func (m *Metrics) Request(path string, code int) {
+	m.mu.Lock()
+	m.requests[path]++
+	m.statuses[code]++
+	m.mu.Unlock()
+}
+
+// Observe records the service latency of one job endpoint request (cache
+// hits included: they are the zero-cost fast path and belong in the
+// distribution).
+func (m *Metrics) Observe(d time.Duration) {
+	m.mu.Lock()
+	m.lat.observe(d)
+	m.mu.Unlock()
+}
+
+// latencyHist is a power-of-two-bucketed latency histogram over
+// microseconds. Bucket i counts observations with ceil(log2(µs)) == i, so
+// quantile estimates are exact to within a factor of two — plenty for p50 /
+// p95 / p99 service-latency reporting without unbounded memory.
+type latencyHist struct {
+	buckets [48]int64
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := d.Microseconds()
+	i := 0
+	for us > 0 { // i = bits.Len64(us): bucket upper bound 2^i µs
+		us >>= 1
+		i++
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// quantile returns an upper bound on the q-quantile in seconds.
+func (h *latencyHist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= rank {
+			return math.Ldexp(1, i) / 1e6 // 2^i µs in seconds
+		}
+	}
+	return h.max.Seconds()
+}
+
+// queueState is what WritePrometheus needs from the job queue; the server
+// passes its live queue so depth is sampled at scrape time.
+type queueState interface {
+	Depth() int
+	Cap() int
+}
+
+// cacheState is the cache's contribution to the scrape.
+type cacheState interface {
+	Len() int
+	Bytes() int64
+}
+
+// WritePrometheus writes every counter in Prometheus text exposition
+// format. Map-keyed series are emitted in sorted order so the output is
+// deterministic.
+func (m *Metrics) WritePrometheus(w io.Writer, q queueState, c cacheState) error {
+	m.mu.Lock()
+	paths := make([]string, 0, len(m.requests))
+	for p := range m.requests {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	codes := make([]int, 0, len(m.statuses))
+	for s := range m.statuses {
+		codes = append(codes, s)
+	}
+	sort.Ints(codes)
+	reqLines := make([]string, 0, len(paths)+len(codes))
+	for _, p := range paths {
+		reqLines = append(reqLines, fmt.Sprintf("gcserved_requests_total{path=%q} %d", p, m.requests[p]))
+	}
+	for _, s := range codes {
+		reqLines = append(reqLines, fmt.Sprintf("gcserved_responses_total{code=\"%d\"} %d", s, m.statuses[s]))
+	}
+	lat := m.lat
+	m.mu.Unlock()
+
+	var b []byte
+	add := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+		b = append(b, '\n')
+	}
+	add("# HELP gcserved_requests_total HTTP requests received, by path.")
+	add("# TYPE gcserved_requests_total counter")
+	add("# HELP gcserved_responses_total HTTP responses sent, by status code.")
+	add("# TYPE gcserved_responses_total counter")
+	for _, l := range reqLines {
+		add("%s", l)
+	}
+	add("# HELP gcserved_cache_hits_total Result-cache hits (fast path, no simulation run).")
+	add("# TYPE gcserved_cache_hits_total counter")
+	add("gcserved_cache_hits_total %d", m.cacheHits.Load())
+	add("# HELP gcserved_cache_misses_total Result-cache misses.")
+	add("# TYPE gcserved_cache_misses_total counter")
+	add("gcserved_cache_misses_total %d", m.cacheMisses.Load())
+	add("# HELP gcserved_cache_entries Cached responses currently held.")
+	add("# TYPE gcserved_cache_entries gauge")
+	add("gcserved_cache_entries %d", c.Len())
+	add("# HELP gcserved_cache_bytes Bytes of cached response bodies currently held.")
+	add("# TYPE gcserved_cache_bytes gauge")
+	add("gcserved_cache_bytes %d", c.Bytes())
+	add("# HELP gcserved_queue_depth Jobs waiting in the bounded queue.")
+	add("# TYPE gcserved_queue_depth gauge")
+	add("gcserved_queue_depth %d", q.Depth())
+	add("# HELP gcserved_queue_capacity Capacity of the bounded job queue.")
+	add("# TYPE gcserved_queue_capacity gauge")
+	add("gcserved_queue_capacity %d", q.Cap())
+	add("# HELP gcserved_queue_full_total Requests rejected with 429 because the queue was full.")
+	add("# TYPE gcserved_queue_full_total counter")
+	add("gcserved_queue_full_total %d", m.queueFull.Load())
+	add("# HELP gcserved_timeouts_total Requests that hit their deadline before a result was ready.")
+	add("# TYPE gcserved_timeouts_total counter")
+	add("gcserved_timeouts_total %d", m.timeouts.Load())
+	add("# HELP gcserved_jobs_inflight Jobs currently executing on the worker pool.")
+	add("# TYPE gcserved_jobs_inflight gauge")
+	add("gcserved_jobs_inflight %d", m.inflightJobs.Load())
+	add("# HELP gcserved_jobs_started_total Jobs a worker began executing.")
+	add("# TYPE gcserved_jobs_started_total counter")
+	add("gcserved_jobs_started_total %d", m.jobsStarted.Load())
+	add("# HELP gcserved_jobs_done_total Jobs that finished executing.")
+	add("# TYPE gcserved_jobs_done_total counter")
+	add("gcserved_jobs_done_total %d", m.jobsDone.Load())
+	add("# HELP gcserved_jobs_skipped_total Queued jobs skipped because their deadline expired first.")
+	add("# TYPE gcserved_jobs_skipped_total counter")
+	add("gcserved_jobs_skipped_total %d", m.jobsSkipped.Load())
+	add("# HELP gcserved_request_seconds Service latency of job endpoints (upper-bound quantile estimates).")
+	add("# TYPE gcserved_request_seconds summary")
+	add("gcserved_request_seconds{quantile=\"0.5\"} %g", lat.quantile(0.50))
+	add("gcserved_request_seconds{quantile=\"0.95\"} %g", lat.quantile(0.95))
+	add("gcserved_request_seconds{quantile=\"0.99\"} %g", lat.quantile(0.99))
+	add("gcserved_request_seconds_sum %g", lat.sum.Seconds())
+	add("gcserved_request_seconds_count %d", lat.count)
+	add("# HELP gcserved_uptime_seconds Seconds since the server started.")
+	add("# TYPE gcserved_uptime_seconds gauge")
+	add("gcserved_uptime_seconds %g", time.Since(m.start).Seconds())
+	_, err := w.Write(b)
+	return err
+}

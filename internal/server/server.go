@@ -1,0 +1,226 @@
+// Package server implements gcserved, the HTTP/JSON simulation-serving
+// subsystem. It turns the one-shot simulator library into a long-running
+// service with the same contention discipline the paper applies to GC
+// synchronization: the uncontended path is free (cache hits bypass the
+// queue entirely), contention is bounded (a fixed worker pool over a
+// bounded queue, with 429 backpressure instead of unbounded queueing), and
+// every stall is accounted for (queue depth, rejections, timeouts and
+// latency percentiles on /metrics).
+//
+// Endpoints:
+//
+//	POST /v1/collect   run one collection (named benchmark or inline plan)
+//	POST /v1/sweep     run a Fig. 5-style core-count sweep
+//	GET  /v1/workloads list benchmark workloads and baselines
+//	GET  /healthz      liveness + pool state
+//	GET  /metrics      Prometheus text-format counters
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"hwgc"
+)
+
+// Options configures a Server. Zero values select the defaults.
+type Options struct {
+	// Workers is the number of simulation workers (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of admitted-but-unstarted jobs
+	// (default 64). When the queue is full, POSTs get 429 + Retry-After.
+	QueueDepth int
+	// CacheEntries / CacheBytes bound the content-addressed result cache
+	// (defaults 1024 entries, 64 MiB).
+	CacheEntries int
+	CacheBytes   int64
+	// Timeout is the per-request deadline covering queue wait and
+	// simulation time (default 60s). A simulation that has already started
+	// when the deadline fires runs to completion (the result is cached),
+	// but the waiting client gets 504.
+	Timeout time.Duration
+	// MaxScale rejects requests whose Scale exceeds it (default 64;
+	// negative means unlimited) so one request cannot occupy a worker for
+	// arbitrarily long.
+	MaxScale int
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 1024
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 60 * time.Second
+	}
+	if o.MaxScale == 0 {
+		o.MaxScale = 64
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	return o
+}
+
+// Server is the simulation-serving subsystem: HTTP handlers in front of a
+// fixed worker pool over a bounded queue, with a result cache and metrics.
+type Server struct {
+	opts    Options
+	metrics *Metrics
+	cache   *Cache
+	queue   *Queue
+	mux     *http.ServeMux
+	wg      sync.WaitGroup
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+
+	// runCollect / runSweep execute one canonicalized request and encode
+	// the response body. Tests substitute these to control job duration.
+	runCollect func(req hwgc.CollectRequest) ([]byte, error)
+	runSweep   func(req hwgc.SweepRequest) ([]byte, error)
+}
+
+// New creates a Server. Call Start to spin up the worker pool.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:       opts.withDefaults(),
+		metrics:    NewMetrics(),
+		runCollect: encodeCollect,
+		runSweep:   encodeSweep,
+	}
+	s.cache = NewCache(s.opts.CacheEntries, s.opts.CacheBytes)
+	s.queue = NewQueue(s.opts.QueueDepth)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/collect", s.handleCollect)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+func encodeCollect(req hwgc.CollectRequest) ([]byte, error) {
+	resp, err := hwgc.NewCollectResponse(req)
+	if err != nil {
+		return nil, err
+	}
+	var b bytes.Buffer
+	if err := resp.Encode(&b); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+func encodeSweep(req hwgc.SweepRequest) ([]byte, error) {
+	resp, err := hwgc.NewSweepResponse(req)
+	if err != nil {
+		return nil, err
+	}
+	var b bytes.Buffer
+	if err := resp.Encode(&b); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// Start launches the worker pool. Idempotent.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		for i := 0; i < s.opts.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
+	})
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the counter set (for embedding or tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Workers returns the size of the worker pool (after defaulting).
+func (s *Server) Workers() int { return s.opts.Workers }
+
+// Queue exposes the job queue state (for health reporting and tests).
+func (s *Server) Queue() *Queue { return s.queue }
+
+// Cache exposes the result cache (for tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Shutdown drains gracefully: admission stops (new jobs get 503), every
+// job already admitted is executed, and the worker pool exits. It returns
+// nil once the pool has drained, or ctx.Err() if ctx expires first (the
+// workers keep draining in the background in that case).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopOnce.Do(func() { s.queue.Close() })
+	s.Start() // a never-started pool must still drain admitted jobs
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown: %w", ctx.Err())
+	}
+}
+
+// worker executes jobs until the queue is closed and drained.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		if j.ctx.Err() != nil {
+			// The submitting request already gave up; don't burn a worker
+			// on a result nobody is waiting for.
+			s.metrics.jobsSkipped.Add(1)
+			j.finish(nil, j.ctx.Err())
+			continue
+		}
+		s.metrics.jobsStarted.Add(1)
+		s.metrics.inflightJobs.Add(1)
+		body, err := j.run()
+		if err == nil {
+			s.cache.Put(j.Key, body)
+		}
+		s.metrics.inflightJobs.Add(-1)
+		s.metrics.jobsDone.Add(1)
+		j.finish(body, err)
+	}
+}
+
+// submit pushes a job and waits for its result or the context deadline.
+func (s *Server) submit(ctx context.Context, j *Job) ([]byte, error) {
+	if err := s.queue.TryPush(j); err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.done:
+		return j.body, j.err
+	case <-ctx.Done():
+		s.metrics.timeouts.Add(1)
+		return nil, ctx.Err()
+	}
+}

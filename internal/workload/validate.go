@@ -1,42 +1,16 @@
 package workload
 
 import (
-	"encoding/json"
 	"fmt"
-	"io"
 
 	"hwgc/internal/object"
 )
 
-// Plans serialize as plain JSON ({"Objs":[{"Pi":..,"Delta":..,"Ptrs":[..],
-// "Data":[..]}],"Roots":[..]}), so users can define custom workloads in
-// files and run them through cmd/gcsim -plan. ReadPlan validates the
-// structure before returning it.
-
-// WritePlan encodes p as JSON.
-func WritePlan(w io.Writer, p *Plan) error {
-	enc := json.NewEncoder(w)
-	return enc.Encode(p)
-}
-
-// ReadPlan decodes and validates a JSON plan.
-func ReadPlan(r io.Reader) (*Plan, error) {
-	var p Plan
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&p); err != nil {
-		return nil, fmt.Errorf("workload: decoding plan: %w", err)
-	}
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	return &p, nil
-}
-
 // Validate checks the structural invariants a plan must satisfy before it
 // can be realized into a heap: object shapes within the header encoding's
 // bounds, slot lists matching the declared shapes, and every pointer or
-// root index either -1 (nil) or a valid object index.
+// root index either -1 (nil) or a valid object index. The JSON codec in
+// internal/plan calls this on every decoded plan.
 func (p *Plan) Validate() error {
 	for i := range p.Objs {
 		o := &p.Objs[i]

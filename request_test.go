@@ -1,0 +1,135 @@
+package hwgc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCollectRequestCanonicalize(t *testing.T) {
+	r := CollectRequest{Bench: "jlisp"}
+	if err := r.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Scale != 1 || r.Seed != 42 || r.Config.Cores != 1 || r.Config.FIFOCapacity == 0 {
+		t.Fatalf("defaults not resolved: %+v", r)
+	}
+
+	// Equivalent spellings share one canonical encoding and key.
+	a := CollectRequest{Bench: "jlisp"}
+	b := CollectRequest{Bench: "jlisp", Scale: 1, Seed: 42}
+	ja, err := a.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("equivalent requests encode differently:\n%s\n%s", ja, jb)
+	}
+	ka, _ := a.Key()
+	kb, _ := b.Key()
+	if ka == "" || ka != kb {
+		t.Fatalf("equivalent requests key differently: %s vs %s", ka, kb)
+	}
+
+	// Different simulations key differently.
+	c := CollectRequest{Bench: "jlisp", Seed: 7}
+	kc, _ := c.Key()
+	if kc == ka {
+		t.Fatal("different seeds share a key")
+	}
+}
+
+func TestCollectRequestRejections(t *testing.T) {
+	plan := &Plan{}
+	plan.NewObj(0, 1)
+	plan.AddRoot(0)
+	cases := map[string]CollectRequest{
+		"nothing":       {},
+		"both":          {Bench: "jlisp", Plan: plan},
+		"unknown bench": {Bench: "doom"},
+		"bad config":    {Bench: "jlisp", Config: Config{Cores: 9999}},
+	}
+	for name, r := range cases {
+		if err := r.Canonicalize(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPlanRequestCanonicalization(t *testing.T) {
+	plan := &Plan{}
+	i := plan.NewObj(1, 1)
+	j := plan.NewObj(0, 2)
+	plan.Link(i, 0, j)
+	plan.AddRoot(i)
+
+	r := CollectRequest{Plan: plan, Scale: 9, Seed: 9, Verify: true}
+	if err := r.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	// Scale and seed do not influence a plan build; they are zeroed so
+	// equivalent plan requests share a key.
+	if r.Scale != 0 || r.Seed != 0 {
+		t.Fatalf("plan request kept scale/seed: %+v", r)
+	}
+
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "plan" || res.LiveObjects != 2 || res.Stats.Cycles <= 0 {
+		t.Fatalf("plan run result wrong: %+v", res)
+	}
+}
+
+func TestSweepRequestDefaultsAndRun(t *testing.T) {
+	r := SweepRequest{Bench: "jlisp", Cores: []int{1, 2}}
+	results, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+
+	d := SweepRequest{Bench: "jlisp"}
+	if err := d.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cores) != len(PaperCoreCounts) {
+		t.Fatalf("default cores %v", d.Cores)
+	}
+	bad := SweepRequest{Bench: "jlisp", Cores: []int{0}}
+	if err := bad.Canonicalize(); err == nil {
+		t.Error("core count 0 accepted")
+	}
+	none := SweepRequest{}
+	if err := none.Canonicalize(); err == nil {
+		t.Error("sweep without bench accepted")
+	}
+}
+
+func TestCollectResponseEncodingDeterministic(t *testing.T) {
+	mk := func() string {
+		resp, err := NewCollectResponse(CollectRequest{Bench: "jlisp", Config: Config{Cores: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := resp.Encode(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	one, two := mk(), mk()
+	if one != two {
+		t.Fatal("re-running the same canonical request changed the encoded response")
+	}
+	if !strings.HasSuffix(one, "\n") || !strings.Contains(one, `"Cycles"`) {
+		t.Fatalf("unexpected wire shape:\n%s", one[:120])
+	}
+}
