@@ -1,0 +1,112 @@
+package hwgc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBatchItemPrep(t *testing.T) {
+	it := BatchItem{Collect: &CollectRequest{Bench: "jlisp", Config: Config{Cores: 2}}}
+	path, key, body, err := it.Prep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "/v1/collect" {
+		t.Errorf("path = %q, want /v1/collect", path)
+	}
+	if key != KeyBytes(body) {
+		t.Errorf("key %q does not match KeyBytes of the canonical body", key)
+	}
+	want, err := it.Collect.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != want {
+		t.Errorf("batch item key %q != single-request key %q", key, want)
+	}
+
+	sw := BatchItem{Sweep: &SweepRequest{Bench: "jlisp", Cores: []int{1, 2}}}
+	path, _, _, err = sw.Prep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "/v1/sweep" {
+		t.Errorf("sweep path = %q, want /v1/sweep", path)
+	}
+
+	for name, bad := range map[string]BatchItem{
+		"empty": {},
+		"both":  {Collect: &CollectRequest{Bench: "jlisp"}, Sweep: &SweepRequest{Bench: "jlisp"}},
+		"bogus": {Collect: &CollectRequest{Bench: "no-such-bench"}},
+	} {
+		if _, _, _, err := bad.Prep(); err == nil {
+			t.Errorf("%s item accepted", name)
+		}
+	}
+}
+
+func TestDecodeBatchRequest(t *testing.T) {
+	good := `{"Items":[{"Collect":{"Bench":"jlisp","Config":{}}},{"Sweep":{"Bench":"javac","Config":{}}}]}`
+	req, err := DecodeBatchRequest(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Items) != 2 {
+		t.Fatalf("decoded %d items, want 2", len(req.Items))
+	}
+
+	for name, bad := range map[string]string{
+		"empty items":   `{"Items":[]}`,
+		"no items":      `{}`,
+		"unknown field": `{"Items":[{"Collect":{"Bench":"jlisp","Config":{}}}],"Nope":1}`,
+		"trailing data": `{"Items":[{"Collect":{"Bench":"jlisp","Config":{}}}]} garbage`,
+		"not json":      `what`,
+	} {
+		if _, err := DecodeBatchRequest(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+
+	var many strings.Builder
+	many.WriteString(`{"Items":[`)
+	for i := 0; i <= MaxBatchItems; i++ {
+		if i > 0 {
+			many.WriteString(",")
+		}
+		many.WriteString(`{"Collect":{"Bench":"jlisp","Config":{}}}`)
+	}
+	many.WriteString(`]}`)
+	if _, err := DecodeBatchRequest(strings.NewReader(many.String())); err == nil {
+		t.Errorf("oversized batch (%d items) accepted", MaxBatchItems+1)
+	}
+}
+
+func TestBatchResponseTallyAndEncode(t *testing.T) {
+	resp := BatchResponse{Items: []BatchItemResult{
+		{Index: 0, Status: 200, Body: []byte(`{"Key":"k"}`)},
+		{Index: 1, Status: 429, Error: "queue full"},
+		{Index: 2, Status: 400, Error: "invalid"},
+	}}
+	resp.Tally()
+	if resp.OK != 1 || resp.Failed != 2 {
+		t.Fatalf("tally OK=%d Failed=%d, want 1/2", resp.OK, resp.Failed)
+	}
+	var a, b bytes.Buffer
+	if err := resp.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("batch response encoding is not deterministic")
+	}
+	back, err := DecodeBatchResponse(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.OK != 1 || back.Failed != 2 || len(back.Items) != 3 {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+}

@@ -8,16 +8,23 @@
 // returns byte-identical bodies. 429 responses (deliberate backpressure)
 // are counted separately and are not errors.
 //
+// With -batch N, each request is instead a POST /v1/batch of N mixed
+// collect/sweep items (a scatter-gather experiment against gcserved or
+// gcfleet). Per-item 429s are tolerated like single-request 429s; response
+// identity is checked only for fully-successful batches, whose encodings
+// are deterministic.
+//
 // Usage:
 //
 //	gcload [-url http://localhost:8080] [-n 1000] [-c 100] [-qps 0]
 //	       [-bench jlisp] [-cores 8] [-scale 1] [-distinct 8]
-//	       [-sweep] [-timeout 30s]
+//	       [-sweep] [-batch 0] [-timeout 30s]
 package main
 
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +48,7 @@ type loadConfig struct {
 	scale    int
 	distinct int
 	sweep    bool
+	batch    int
 	timeout  time.Duration
 }
 
@@ -55,6 +63,7 @@ func main() {
 	flag.IntVar(&cfg.scale, "scale", 1, "workload scale per request")
 	flag.IntVar(&cfg.distinct, "distinct", 8, "distinct seed variants to rotate through")
 	flag.BoolVar(&cfg.sweep, "sweep", false, "POST /v1/sweep instead of /v1/collect")
+	flag.IntVar(&cfg.batch, "batch", 0, "POST /v1/batch with this many mixed items per request (0 = single requests)")
 	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request client timeout")
 	flag.Parse()
 
@@ -78,15 +87,22 @@ type report struct {
 	mismatch  int // cache responses that were not byte-identical
 	latencies []time.Duration
 	bytes     int64
+
+	// Batch mode (-batch N): per-item tallies across all batches.
+	itemsOK     int
+	items429    int
+	itemsFailed int // any per-item status other than 200 and 429
 }
 
 func (r *report) failed() bool {
-	if r.transport > 0 || r.mismatch > 0 {
+	if r.transport > 0 || r.mismatch > 0 || r.itemsFailed > 0 {
 		return true
 	}
 	for code, n := range r.statuses {
-		// 429 is deliberate backpressure, not a failure.
-		if n > 0 && code != http.StatusOK && code != http.StatusTooManyRequests {
+		// 429 is deliberate backpressure, not a failure; 207 is a batch
+		// with per-item failures, judged by itemsFailed above.
+		if n > 0 && code != http.StatusOK && code != http.StatusTooManyRequests &&
+			code != http.StatusMultiStatus {
 			return true
 		}
 	}
@@ -112,6 +128,9 @@ func (r *report) print(w io.Writer) {
 	if r.cfg.sweep {
 		endpoint = "/v1/sweep"
 	}
+	if r.cfg.batch > 0 {
+		endpoint = fmt.Sprintf("/v1/batch (%d items)", r.cfg.batch)
+	}
 	fmt.Fprintf(w, "gcload: POST %s bench=%s cores=%d scale=%d distinct-seeds=%d\n",
 		endpoint, r.cfg.bench, r.cfg.cores, r.cfg.scale, r.cfg.distinct)
 	secs := r.elapsed.Seconds()
@@ -134,6 +153,9 @@ func (r *report) print(w io.Writer) {
 		fmt.Fprintf(w, " transport-errors x%d", r.transport)
 	}
 	fmt.Fprintln(w)
+	if r.cfg.batch > 0 {
+		fmt.Fprintf(w, "items    ok x%d  429 x%d  failed x%d\n", r.itemsOK, r.items429, r.itemsFailed)
+	}
 	if r.mismatch > 0 {
 		fmt.Fprintf(w, "identity FAILED: %d responses differed from the first response for their request\n", r.mismatch)
 	} else {
@@ -151,6 +173,9 @@ func (r *report) print(w io.Writer) {
 // body returns the request body for seed variant v. Bodies are canonical
 // requests, so the server's cache key for variant v is stable.
 func (cfg *loadConfig) body(v int) ([]byte, error) {
+	if cfg.batch > 0 {
+		return cfg.batchBody(v)
+	}
 	seed := int64(v + 1)
 	if cfg.sweep {
 		req := hwgc.SweepRequest{Bench: cfg.bench, Scale: cfg.scale, Seed: seed,
@@ -160,6 +185,35 @@ func (cfg *loadConfig) body(v int) ([]byte, error) {
 	req := hwgc.CollectRequest{Bench: cfg.bench, Scale: cfg.scale, Seed: seed,
 		Config: hwgc.Config{Cores: cfg.cores}}
 	return req.CanonicalJSON()
+}
+
+// batchBody builds the mixed collect/sweep batch for seed variant v: every
+// fourth item is a two-core sweep, the rest are collects, each with a seed
+// unique to (variant, item) so distinct variants occupy distinct cache
+// entries end to end.
+func (cfg *loadConfig) batchBody(v int) ([]byte, error) {
+	var req hwgc.BatchRequest
+	for i := 0; i < cfg.batch; i++ {
+		seed := int64(v*cfg.batch + i + 1)
+		if i%4 == 3 {
+			req.Items = append(req.Items, hwgc.BatchItem{Sweep: &hwgc.SweepRequest{
+				Bench: cfg.bench, Scale: cfg.scale, Seed: seed,
+				Cores: []int{1, cfg.cores}}})
+		} else {
+			req.Items = append(req.Items, hwgc.BatchItem{Collect: &hwgc.CollectRequest{
+				Bench: cfg.bench, Scale: cfg.scale, Seed: seed,
+				Config: hwgc.Config{Cores: cfg.cores}}})
+		}
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	for i := range req.Items {
+		if _, _, _, err := req.Items[i].Prep(); err != nil {
+			return nil, fmt.Errorf("batch item %d: %w", i, err)
+		}
+	}
+	return json.Marshal(req)
 }
 
 func runLoad(cfg loadConfig) (*report, error) {
@@ -172,9 +226,15 @@ func runLoad(cfg loadConfig) (*report, error) {
 	if cfg.workers > cfg.requests {
 		cfg.workers = cfg.requests
 	}
+	if cfg.batch < 0 || cfg.batch > hwgc.MaxBatchItems {
+		return nil, fmt.Errorf("-batch must be in [0, %d]", hwgc.MaxBatchItems)
+	}
 	endpoint := cfg.url + "/v1/collect"
 	if cfg.sweep {
 		endpoint = cfg.url + "/v1/sweep"
+	}
+	if cfg.batch > 0 {
+		endpoint = cfg.url + "/v1/batch"
 	}
 	bodies := make([][]byte, cfg.distinct)
 	for v := range bodies {
@@ -245,6 +305,15 @@ func runLoad(cfg loadConfig) (*report, error) {
 				data, rerr := io.ReadAll(resp.Body)
 				resp.Body.Close()
 				lat := time.Since(t0)
+
+				// Batch mode: tally per-item outcomes; a decode failure of
+				// a 200/207 reply counts as a transport error.
+				var br *hwgc.BatchResponse
+				if rerr == nil && cfg.batch > 0 &&
+					(resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusMultiStatus) {
+					br, rerr = hwgc.DecodeBatchResponse(bytes.NewReader(data))
+				}
+
 				mu.Lock()
 				if rerr != nil {
 					rep.transport++
@@ -252,7 +321,24 @@ func runLoad(cfg loadConfig) (*report, error) {
 					rep.statuses[resp.StatusCode]++
 					rep.bytes += int64(len(data))
 					rep.latencies = append(rep.latencies, lat)
-					if resp.StatusCode == http.StatusOK {
+					identical := resp.StatusCode == http.StatusOK
+					if br != nil {
+						for _, it := range br.Items {
+							switch it.Status {
+							case http.StatusOK:
+								rep.itemsOK++
+							case http.StatusTooManyRequests:
+								rep.items429++
+							default:
+								rep.itemsFailed++
+							}
+						}
+						// Deterministic encodings make fully-successful
+						// batches byte-identical across repeats; batches
+						// with transient 429s legitimately differ.
+						identical = br.Failed == 0
+					}
+					if identical {
 						sum := sha256.Sum256(data)
 						if prev, ok := firstSums[v]; !ok {
 							firstSums[v] = sum

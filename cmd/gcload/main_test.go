@@ -61,12 +61,62 @@ func TestLoadAgainstLiveServer(t *testing.T) {
 	}
 }
 
+// TestBatchLoadAgainstLiveServer drives the -batch mode against a real
+// gcserved: every batch must come back 200 or 207, per-item failures other
+// than backpressure are errors, and fully-successful batches must be
+// byte-identical across repeats.
+func TestBatchLoadAgainstLiveServer(t *testing.T) {
+	srv := server.New(server.Options{Workers: 4, QueueDepth: 64})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("server drain: %v", err)
+		}
+	}()
+
+	rep, err := runLoad(loadConfig{
+		url:      ts.URL,
+		requests: 40,
+		workers:  8,
+		bench:    "jlisp",
+		cores:    2,
+		scale:    1,
+		distinct: 4,
+		batch:    8,
+		timeout:  60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.failed() {
+		rep.print(testWriter{t})
+		t.Fatal("batch load run reported failure")
+	}
+	if rep.itemsOK+rep.items429 != 40*8 {
+		t.Fatalf("item outcomes ok=%d 429=%d failed=%d, want %d total",
+			rep.itemsOK, rep.items429, rep.itemsFailed, 40*8)
+	}
+	if rep.mismatch != 0 {
+		t.Fatalf("%d fully-successful batches were not byte-identical", rep.mismatch)
+	}
+}
+
 func TestRunLoadValidation(t *testing.T) {
 	if _, err := runLoad(loadConfig{requests: 0, workers: 1}); err == nil {
 		t.Error("zero requests accepted")
 	}
 	if _, err := runLoad(loadConfig{requests: 1, workers: 1, bench: "no-such-bench"}); err == nil {
 		t.Error("unknown benchmark accepted (request canonicalization should reject it)")
+	}
+	if _, err := runLoad(loadConfig{requests: 1, workers: 1, bench: "jlisp", batch: 100000}); err == nil {
+		t.Error("oversized -batch accepted")
+	}
+	if _, err := runLoad(loadConfig{requests: 1, workers: 1, bench: "no-such-bench", batch: 4}); err == nil {
+		t.Error("unknown benchmark accepted in batch mode")
 	}
 }
 

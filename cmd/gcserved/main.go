@@ -7,12 +7,13 @@
 // Usage:
 //
 //	gcserved [-addr :8080] [-workers N] [-queue 64] [-cache-entries 1024]
-//	         [-cache-mb 64] [-timeout 60s] [-max-scale 64]
+//	         [-cache-mb 64] [-timeout 60s] [-max-scale 64] [-retry-after 1s]
 //
 // Endpoints:
 //
 //	POST /v1/collect   {"Bench":"javac","Scale":1,"Seed":42,"Config":{"Cores":16}}
 //	POST /v1/sweep     {"Bench":"javac","Cores":[1,2,4,8,16],"Config":{}}
+//	POST /v1/batch     {"Items":[{"Collect":{...}},{"Sweep":{...}}]}
 //	GET  /v1/workloads
 //	GET  /healthz
 //	GET  /metrics
@@ -34,29 +35,50 @@ import (
 )
 
 func main() {
-	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		workers      = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
-		queue        = flag.Int("queue", 64, "bounded job queue depth")
-		cacheEntries = flag.Int("cache-entries", 1024, "result cache entry bound")
-		cacheMB      = flag.Int64("cache-mb", 64, "result cache size bound in MiB")
-		timeout      = flag.Duration("timeout", 60*time.Second, "per-request deadline (queue wait + simulation)")
-		maxScale     = flag.Int("max-scale", 64, "largest accepted workload scale (-1 = unlimited)")
-		drain        = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
-	)
-	flag.Parse()
+	addr, opts, drain, err := parseOptions(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gcserved:", err)
+		os.Exit(2)
+	}
+	if err := run(addr, opts, drain); err != nil {
+		fmt.Fprintln(os.Stderr, "gcserved:", err)
+		os.Exit(1)
+	}
+}
 
-	if err := run(*addr, server.Options{
+// parseOptions turns CLI arguments into server options. Split from main so
+// flag wiring is testable without spawning a process.
+func parseOptions(args []string) (addr string, opts server.Options, drain time.Duration, err error) {
+	fs := flag.NewFlagSet("gcserved", flag.ContinueOnError)
+	var (
+		addrFlag     = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue        = fs.Int("queue", 64, "bounded job queue depth")
+		cacheEntries = fs.Int("cache-entries", 1024, "result cache entry bound")
+		cacheMB      = fs.Int64("cache-mb", 64, "result cache size bound in MiB")
+		timeout      = fs.Duration("timeout", 60*time.Second, "per-request deadline (queue wait + simulation)")
+		maxScale     = fs.Int("max-scale", 64, "largest accepted workload scale (-1 = unlimited)")
+		retryAfter   = fs.Duration("retry-after", time.Second, "Retry-After hint on 429 responses (rounded up to whole seconds)")
+		drainFlag    = fs.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return "", server.Options{}, 0, err
+	}
+	if fs.NArg() > 0 {
+		return "", server.Options{}, 0, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *retryAfter <= 0 {
+		return "", server.Options{}, 0, fmt.Errorf("-retry-after must be positive, got %s", *retryAfter)
+	}
+	return *addrFlag, server.Options{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cacheEntries,
 		CacheBytes:   *cacheMB << 20,
 		Timeout:      *timeout,
 		MaxScale:     *maxScale,
-	}, *drain); err != nil {
-		fmt.Fprintln(os.Stderr, "gcserved:", err)
-		os.Exit(1)
-	}
+		RetryAfter:   *retryAfter,
+	}, *drainFlag, nil
 }
 
 func run(addr string, opts server.Options, drain time.Duration) error {

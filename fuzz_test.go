@@ -1,0 +1,41 @@
+package hwgc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeBatchRequest checks that arbitrary input never panics the
+// /v1/batch request decoder, and that every accepted batch is servable:
+// each item either preps cleanly (canonical path/key/body) or fails with a
+// per-item error — never a panic, and never an item that preps to an
+// invalid key.
+func FuzzDecodeBatchRequest(f *testing.F) {
+	f.Add(`{"Items":[{"Collect":{"Bench":"jlisp","Config":{}}}]}`)
+	f.Add(`{"Items":[{"Sweep":{"Bench":"javac","Cores":[1,2,4],"Config":{"Cores":4}}}]}`)
+	f.Add(`{"Items":[{"Collect":{"Plan":{"Objs":[{"Pi":1,"Delta":1,"Ptrs":[-1],"Data":[7]}],"Roots":[0]},"Config":{}}}]}`)
+	f.Add(`{"Items":[{}]}`)
+	f.Add(`{"Items":[]}`)
+	f.Add(`not json at all`)
+	f.Fuzz(func(t *testing.T, in string) {
+		req, err := DecodeBatchRequest(strings.NewReader(in))
+		if err != nil {
+			return // rejected: fine
+		}
+		if len(req.Items) == 0 || len(req.Items) > MaxBatchItems {
+			t.Fatalf("accepted batch with %d items outside (0, %d]", len(req.Items), MaxBatchItems)
+		}
+		for i := range req.Items {
+			path, key, body, err := req.Items[i].Prep()
+			if err != nil {
+				continue // a per-item failure at serve time: fine
+			}
+			if path != "/v1/collect" && path != "/v1/sweep" {
+				t.Fatalf("item %d prepped to unknown path %q", i, path)
+			}
+			if len(key) != 64 || len(body) == 0 {
+				t.Fatalf("item %d prepped to key %q body len %d", i, key, len(body))
+			}
+		}
+	})
+}

@@ -1,0 +1,607 @@
+// Package cluster implements gcfleet, the sharded multi-backend serving
+// tier in front of N gcserved instances. It exposes the exact same HTTP
+// API as one gcserved and adds:
+//
+//   - cache-affine routing: a consistent-hash ring over the canonical
+//     request content key (hwgc.KeyBytes), so identical requests always
+//     land on the backend whose LRU cache already holds the result;
+//   - health-checked failover: per-backend /healthz probing feeding a
+//     three-state circuit breaker (closed/open/half-open) with automatic
+//     re-admission;
+//   - a retry policy that honors Retry-After on 429, applies capped
+//     exponential backoff with jitter on 5xx/transport errors, fails over
+//     to the next ring replica, and optionally hedges the first attempt
+//     after a latency percentile to cut tail latency;
+//   - scatter-gather batching (POST /v1/batch) with bounded per-backend
+//     concurrency and per-item partial-failure reporting;
+//   - fleet-level Prometheus metrics on /metrics.
+//
+// The design follows the paper's synchronization discipline at fleet
+// scale: the common case (a healthy owner backend with a warm cache) is
+// contention-free, every stall has an accounted cause (breaker opens,
+// failovers, retries, hedges), and overload is an explicit bounded
+// rejection, never an invisible convoy.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Options configures a Fleet. Zero values select the defaults.
+type Options struct {
+	// Backends are the gcserved base URLs (e.g. http://10.0.0.1:8080).
+	Backends []string
+	// Vnodes is the virtual-node count per backend on the hash ring
+	// (default DefaultVnodes).
+	Vnodes int
+	// Replicas is the failover width: how many distinct backends, in ring
+	// order, may serve one key (default 3, capped at the backend count).
+	Replicas int
+	// MaxAttempts bounds the total HTTP sends for one request, hedges
+	// included (default 4).
+	MaxAttempts int
+	// BaseBackoff/MaxBackoff shape the capped exponential backoff with
+	// jitter applied between retries of 5xx/transport failures (defaults
+	// 25ms and 1s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// RetryAfterCap bounds how long the fleet honors a backend's
+	// Retry-After hint before retrying anyway (default 5s).
+	RetryAfterCap time.Duration
+	// HedgeQuantile, when in (0,1), enables hedged requests: if the first
+	// attempt has not answered within the observed latency quantile (e.g.
+	// 0.95 = p95), a second copy is raced against the next replica.
+	// Disabled when 0.
+	HedgeQuantile float64
+	// HedgeMinDelay floors the hedge delay so a cold latency histogram
+	// cannot trigger hedge storms (default 20ms).
+	HedgeMinDelay time.Duration
+	// HealthInterval is the /healthz probe period (default 2s; negative
+	// disables probing).
+	HealthInterval time.Duration
+	// BreakerThreshold consecutive failures open a backend's breaker
+	// (default 3); BreakerCooldown is the open→half-open delay (default 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// BatchInflight bounds concurrent in-flight batch items per backend
+	// (default 4).
+	BatchInflight int
+	// Timeout is the per-request (and per-batch-item) deadline (default 60s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests; default is a pooled client).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.Vnodes <= 0 {
+		o.Vnodes = DefaultVnodes
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 3
+	}
+	if o.Replicas > len(o.Backends) {
+		o.Replicas = len(o.Backends)
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 25 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = time.Second
+	}
+	if o.RetryAfterCap <= 0 {
+		o.RetryAfterCap = 5 * time.Second
+	}
+	if o.HedgeMinDelay <= 0 {
+		o.HedgeMinDelay = 20 * time.Millisecond
+	}
+	if o.HealthInterval == 0 {
+		o.HealthInterval = 2 * time.Second
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+	if o.BatchInflight <= 0 {
+		o.BatchInflight = 4
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 60 * time.Second
+	}
+	return o
+}
+
+// Errors the routing layer reports when no backend could serve a request.
+var (
+	// ErrNoBackends: every replica's breaker refused admission.
+	ErrNoBackends = errors.New("cluster: no admissible backend (all breakers open)")
+	// ErrExhausted: the attempt budget ran out without a terminal reply.
+	ErrExhausted = errors.New("cluster: attempts exhausted")
+)
+
+// Fleet is the coordinator: a hash ring of backends, per-backend breakers
+// and counters, fleet metrics, and the HTTP front end.
+type Fleet struct {
+	opts    Options
+	client  *http.Client
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	mu       sync.RWMutex // guards ring + backends map on membership change
+	ring     *Ring
+	backends map[string]*Backend
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+
+	// sleep is the context-aware sleep used by backoff and Retry-After
+	// waits; tests substitute it to make retry schedules instantaneous.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// New validates opts and builds a Fleet. Call Start to begin health
+// probing; the handler works without Start (breakers then trip only on
+// live traffic).
+func New(opts Options) (*Fleet, error) {
+	opts = opts.withDefaults()
+	if len(opts.Backends) == 0 {
+		return nil, fmt.Errorf("cluster: fleet needs at least one backend")
+	}
+	f := &Fleet{
+		opts:     opts,
+		metrics:  NewMetrics(),
+		backends: make(map[string]*Backend, len(opts.Backends)),
+		stop:     make(chan struct{}),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		sleep:    sleepCtx,
+	}
+	ids := make([]string, 0, len(opts.Backends))
+	for i, raw := range opts.Backends {
+		b, err := newBackend(i, raw, opts.BreakerThreshold, opts.BreakerCooldown, opts.BatchInflight)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := f.backends[b.id]; dup {
+			return nil, fmt.Errorf("cluster: duplicate backend %q", b.baseURL)
+		}
+		f.backends[b.id] = b
+		ids = append(ids, b.id)
+	}
+	ring, err := NewRing(ids, opts.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	f.ring = ring
+	f.client = opts.Client
+	if f.client == nil {
+		f.client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	f.mux = http.NewServeMux()
+	f.mux.HandleFunc("/v1/collect", f.handleCollect)
+	f.mux.HandleFunc("/v1/sweep", f.handleSweep)
+	f.mux.HandleFunc("/v1/batch", f.handleBatch)
+	f.mux.HandleFunc("/v1/workloads", f.handleWorkloads)
+	f.mux.HandleFunc("/healthz", f.handleHealthz)
+	f.mux.HandleFunc("/metrics", f.handleMetrics)
+	return f, nil
+}
+
+// Start launches the health-check loop. Idempotent.
+func (f *Fleet) Start() {
+	f.startOnce.Do(func() {
+		if f.opts.HealthInterval < 0 {
+			return
+		}
+		f.wg.Add(1)
+		go f.healthLoop()
+	})
+}
+
+// Close stops the health loop and waits for it.
+func (f *Fleet) Close() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.wg.Wait()
+}
+
+// Handler returns the fleet's HTTP handler.
+func (f *Fleet) Handler() http.Handler { return f.mux }
+
+// Metrics exposes the fleet counter set (for tests and embedding).
+func (f *Fleet) Metrics() *Metrics { return f.metrics }
+
+// Backends returns the backends in ring-member order.
+func (f *Fleet) Backends() []*Backend {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]*Backend, 0, len(f.backends))
+	for _, id := range f.ring.Members() {
+		out = append(out, f.backends[id])
+	}
+	return out
+}
+
+// RemoveBackend permanently removes a backend from the ring (operator
+// membership change, as opposed to a breaker trip which keeps ring
+// ownership stable). The remaining backends deterministically inherit only
+// the removed member's keys.
+func (f *Fleet) RemoveBackend(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ring, err := f.ring.Remove(id)
+	if err != nil {
+		return err
+	}
+	f.ring = ring
+	delete(f.backends, id)
+	return nil
+}
+
+// replicasFor returns the key's failover order as live *Backend pointers.
+func (f *Fleet) replicasFor(key string) []*Backend {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	ids := f.ring.Lookup(key, f.opts.Replicas)
+	out := make([]*Backend, 0, len(ids))
+	for _, id := range ids {
+		if b, ok := f.backends[id]; ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// sendResult is one HTTP exchange outcome.
+type sendResult struct {
+	backend *Backend
+	status  int
+	header  http.Header
+	body    []byte
+	err     error
+	hedged  bool // a hedge was launched during this exchange
+}
+
+// send performs one exchange against b. A nil body means GET.
+func (f *Fleet) send(ctx context.Context, b *Backend, path string, body []byte) sendResult {
+	b.requests.Add(1)
+	method := http.MethodGet
+	var rd io.Reader
+	if body != nil {
+		method = http.MethodPost
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.baseURL+path, rd)
+	if err != nil {
+		return sendResult{backend: b, err: err}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return sendResult{backend: b, err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBodyBytes))
+	if err != nil {
+		return sendResult{backend: b, err: err}
+	}
+	f.metrics.ObserveExchange(b.id, resp.StatusCode)
+	return sendResult{backend: b, status: resp.StatusCode, header: resp.Header, body: data}
+}
+
+// maxProxyBodyBytes bounds a proxied response body (sweeps over many cores
+// are the largest; 64 MiB is far above any real reply).
+const maxProxyBodyBytes = 64 << 20
+
+// terminal classifies an exchange outcome: true means return it to the
+// caller as-is (2xx, 3xx and non-429 4xx — the backend answered
+// authoritatively), false means retry/failover (transport error, 5xx, 429).
+func terminal(r sendResult) bool {
+	return r.err == nil && r.status < 500 && r.status != http.StatusTooManyRequests
+}
+
+// do routes one request for key across the ring replicas under the retry
+// policy. It returns the terminal result, or the last observed result plus
+// a routing error when every attempt failed.
+func (f *Fleet) do(ctx context.Context, path, key string, body []byte) (sendResult, error) {
+	replicas := f.replicasFor(key)
+	if len(replicas) == 0 {
+		return sendResult{}, ErrNoBackends
+	}
+	replicas[0].routed.Add(1)
+	f.metrics.Routed(replicas[0].id)
+
+	var (
+		last       sendResult
+		haveLast   bool
+		sends      = 0
+		retryAfter time.Duration
+	)
+	for round := 0; sends < f.opts.MaxAttempts; round++ {
+		admitted := false
+		for i := 0; i < len(replicas) && sends < f.opts.MaxAttempts; i++ {
+			b := replicas[i]
+			if !b.breaker.Allow() {
+				continue
+			}
+			admitted = true
+			if sends > 0 {
+				f.metrics.retries.Add(1)
+			}
+			if b != replicas[0] {
+				// Any send that leaves the key's primary ring owner is a
+				// failover — whether a prior send failed or the primary's
+				// open breaker kept it from being tried at all.
+				f.metrics.failovers.Add(1)
+			}
+			sends++
+			start := time.Now()
+			var res sendResult
+			if sends == 1 && f.hedgeDelay() > 0 && len(replicas) > 1 {
+				res = f.hedgedSend(ctx, replicas, i, path, body)
+				if res.hedged {
+					sends++ // a hedge spends one attempt from the budget
+				}
+			} else {
+				res = f.send(ctx, b, path, body)
+			}
+			f.metrics.ObserveLatency(time.Since(start))
+			last, haveLast = res, true
+			switch {
+			case terminal(res):
+				res.backend.breaker.Record(true)
+				return res, nil
+			case res.status == http.StatusTooManyRequests:
+				// Deliberate backpressure: the backend is alive, just
+				// busy. Honor its Retry-After before the next round.
+				res.backend.breaker.Record(true)
+				if ra := parseRetryAfter(res.header, time.Second); ra > retryAfter {
+					retryAfter = ra
+				}
+			default: // transport error or 5xx
+				res.backend.breaker.Record(false)
+				res.backend.errors.Add(1)
+				f.metrics.backendFailures.Add(1)
+				if err := f.sleep(ctx, f.backoff(sends)); err != nil {
+					return last, err
+				}
+			}
+			if ctx.Err() != nil {
+				return last, ctx.Err()
+			}
+		}
+		if !admitted {
+			if haveLast {
+				return last, ErrNoBackends
+			}
+			return sendResult{}, ErrNoBackends
+		}
+		if retryAfter > 0 && sends < f.opts.MaxAttempts {
+			if retryAfter > f.opts.RetryAfterCap {
+				retryAfter = f.opts.RetryAfterCap
+			}
+			if err := f.sleep(ctx, retryAfter); err != nil {
+				return last, err
+			}
+			retryAfter = 0
+		}
+	}
+	return last, ErrExhausted
+}
+
+// hedgedSend races the first attempt against one hedge launched after the
+// hedge delay. The primary's breaker slot is already held by the caller;
+// the hedge acquires (and releases) its own.
+func (f *Fleet) hedgedSend(ctx context.Context, replicas []*Backend, primaryIdx int, path string, body []byte) sendResult {
+	primary := replicas[primaryIdx]
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan sendResult, 2)
+	go func() { results <- f.send(hctx, primary, path, body) }()
+
+	delay := f.hedgeDelay()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	launched := false
+	var hedgeBackend *Backend
+	var first sendResult
+	select {
+	case first = <-results:
+		// Primary answered before the hedge fired.
+		return first
+	case <-timer.C:
+		// Pick the next replica whose breaker admits a probe.
+		for j := 1; j < len(replicas); j++ {
+			c := replicas[(primaryIdx+j)%len(replicas)]
+			if c == primary || !c.breaker.Allow() {
+				continue
+			}
+			hedgeBackend = c
+			break
+		}
+		if hedgeBackend == nil {
+			first = <-results
+			return first
+		}
+		launched = true
+		hedgeBackend.hedges.Add(1)
+		f.metrics.hedges.Add(1)
+		go func() { results <- f.send(hctx, hedgeBackend, path, body) }()
+	}
+
+	// Two sends racing. The caller settles the breaker of whichever result
+	// we return; we must settle the other one here, exactly once.
+	first = <-results
+	if terminal(first) {
+		cancel() // the loser dies with context.Canceled; drain and discount it
+		second := <-results
+		f.settleHedgeLoser(second)
+		if launched && first.backend == hedgeBackend {
+			f.metrics.hedgeWins.Add(1)
+		}
+		first.hedged = launched
+		return first
+	}
+	// First reply is retryable; settle its breaker and wait for the other.
+	f.settleHedgeLoser(first)
+	second := <-results
+	if launched && terminal(second) && second.backend == hedgeBackend {
+		f.metrics.hedgeWins.Add(1)
+	}
+	second.hedged = launched
+	return second
+}
+
+// settleHedgeLoser settles the breaker slot of a hedge-race loser without
+// penalizing it for being canceled mid-flight.
+func (f *Fleet) settleHedgeLoser(loser sendResult) {
+	b := loser.backend
+	if b == nil {
+		return
+	}
+	switch {
+	case loser.err != nil && errors.Is(loser.err, context.Canceled):
+		b.breaker.Cancel()
+	case loser.err != nil || loser.status >= 500:
+		b.breaker.Record(false)
+		b.errors.Add(1)
+		f.metrics.backendFailures.Add(1)
+	default:
+		// Terminal replies and 429 backpressure both prove liveness.
+		b.breaker.Record(true)
+	}
+}
+
+// hedgeDelay derives the hedge trigger from the observed latency quantile,
+// floored at HedgeMinDelay. Returns 0 when hedging is disabled.
+func (f *Fleet) hedgeDelay() time.Duration {
+	if f.opts.HedgeQuantile <= 0 || f.opts.HedgeQuantile >= 1 {
+		return 0
+	}
+	d := f.metrics.LatencyQuantile(f.opts.HedgeQuantile)
+	if d < f.opts.HedgeMinDelay {
+		d = f.opts.HedgeMinDelay
+	}
+	return d
+}
+
+// backoff returns the jittered capped exponential delay before retry n
+// (n counts completed sends, so the first retry waits ~BaseBackoff).
+func (f *Fleet) backoff(n int) time.Duration {
+	d := f.opts.BaseBackoff << uint(n-1)
+	if d > f.opts.MaxBackoff || d <= 0 {
+		d = f.opts.MaxBackoff
+	}
+	f.rngMu.Lock()
+	jitter := 0.5 + 0.5*f.rng.Float64() // [0.5, 1.0): full jitter, never zero
+	f.rngMu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+// parseRetryAfter reads a Retry-After header in delay-seconds form,
+// falling back to def when absent or unparsable.
+func parseRetryAfter(h http.Header, def time.Duration) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return def
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return def
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleepCtx sleeps for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// healthLoop probes every backend's /healthz on the configured interval.
+// A failed probe counts as a breaker failure (proactively tripping dead
+// backends before user traffic does); a successful probe is the half-open
+// re-admission path for a recovered backend.
+func (f *Fleet) healthLoop() {
+	defer f.wg.Done()
+	tick := time.NewTicker(f.opts.HealthInterval)
+	defer tick.Stop()
+	for {
+		f.probeAll()
+		select {
+		case <-f.stop:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+func (f *Fleet) probeAll() {
+	for _, b := range f.Backends() {
+		if !b.breaker.Allow() {
+			continue // open and cooling down: skip until half-open
+		}
+		ok, err := f.probe(b)
+		b.breaker.Record(ok)
+		b.healthy.Store(ok)
+		if err != nil {
+			b.healthErr.Store(err.Error())
+		} else {
+			b.healthErr.Store("")
+		}
+		f.metrics.healthProbes.Add(1)
+		if !ok {
+			f.metrics.healthFailures.Add(1)
+		}
+	}
+}
+
+func (f *Fleet) probe(b *Backend) (bool, error) {
+	timeout := f.opts.HealthInterval
+	if timeout <= 0 || timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	res := f.send(ctx, b, "/healthz", nil)
+	if res.err != nil {
+		return false, res.err
+	}
+	if res.status != http.StatusOK {
+		return false, fmt.Errorf("healthz status %d", res.status)
+	}
+	return true, nil
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring with virtual nodes, keyed on the
+// canonical request content key (hwgc.KeyBytes — the hex SHA-256 the
+// backends also use as their result-cache key). Identical requests
+// therefore always route to the same backend and land in the LRU cache it
+// already warmed: the fleet analogue of the paper's "keep the common case
+// local" discipline — repeat work never touches a shared resource.
+//
+// The ring is immutable after construction; membership changes build a new
+// ring (Remove/With), which makes rebalancing deterministic: every vnode
+// position is a pure function of the member name, so removing one member
+// reassigns only the keys that member owned, and re-adding it restores the
+// exact previous ownership.
+type Ring struct {
+	vnodes  int
+	hashes  []uint64 // sorted vnode positions
+	owners  []string // owners[i] owns hashes[i]
+	members []string // sorted member names
+}
+
+// DefaultVnodes is the virtual-node count per member when NewRing is given
+// a non-positive one. 128 vnodes keeps the expected load imbalance across a
+// handful of backends within a few percent.
+const DefaultVnodes = 128
+
+// NewRing builds a ring over the given member names. Names must be
+// non-empty and unique.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(members))
+	sorted := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty ring member name")
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("cluster: duplicate ring member %q", m)
+		}
+		seen[m] = true
+		sorted = append(sorted, m)
+	}
+	sort.Strings(sorted)
+
+	r := &Ring{
+		vnodes:  vnodes,
+		hashes:  make([]uint64, 0, len(sorted)*vnodes),
+		owners:  make([]string, 0, len(sorted)*vnodes),
+		members: sorted,
+	}
+	type point struct {
+		hash  uint64
+		owner string
+	}
+	points := make([]point, 0, len(sorted)*vnodes)
+	for _, m := range sorted {
+		for v := 0; v < vnodes; v++ {
+			points = append(points, point{hashPoint(fmt.Sprintf("%s#%d", m, v)), m})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		return points[i].owner < points[j].owner // total order even on hash ties
+	})
+	for _, p := range points {
+		r.hashes = append(r.hashes, p.hash)
+		r.owners = append(r.owners, p.owner)
+	}
+	return r, nil
+}
+
+// hashPoint maps a string to a ring position. SHA-256 keeps vnode positions
+// well spread and, more importantly, stable across processes and releases —
+// rebalancing must be a pure function of the member set.
+func hashPoint(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Members returns the sorted member names.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Remove returns a new ring without the given member. Removing the last
+// member or an unknown member is an error.
+func (r *Ring) Remove(member string) (*Ring, error) {
+	rest := make([]string, 0, len(r.members))
+	for _, m := range r.members {
+		if m != member {
+			rest = append(rest, m)
+		}
+	}
+	if len(rest) == len(r.members) {
+		return nil, fmt.Errorf("cluster: ring has no member %q", member)
+	}
+	return NewRing(rest, r.vnodes)
+}
+
+// With returns a new ring with the given member added.
+func (r *Ring) With(member string) (*Ring, error) {
+	return NewRing(append(r.Members(), member), r.vnodes)
+}
+
+// Owner returns the member that owns key: the owner of the first vnode at
+// or clockwise after the key's position.
+func (r *Ring) Owner(key string) string {
+	return r.owners[r.start(key)]
+}
+
+// Lookup returns up to n distinct members in ring order starting at the
+// key's owner — the failover/replica order for the key. n <= 0 means all
+// members.
+func (r *Ring) Lookup(key string, n int) []string {
+	if n <= 0 || n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i, start := 0, r.start(key); i < len(r.owners) && len(out) < n; i++ {
+		owner := r.owners[(start+i)%len(r.owners)]
+		if !seen[owner] {
+			seen[owner] = true
+			out = append(out, owner)
+		}
+	}
+	return out
+}
+
+// start returns the index of the first vnode at or clockwise after key.
+func (r *Ring) start(key string) int {
+	h := hashPoint(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0 // wrap around
+	}
+	return i
+}

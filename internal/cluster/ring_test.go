@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	return keys
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Error("empty member list accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 8); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if _, err := NewRing([]string{""}, 8); err == nil {
+		t.Error("empty member name accepted")
+	}
+	r, err := NewRing([]string{"a"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Remove("a"); err == nil {
+		t.Error("removing the last member accepted")
+	}
+	if _, err := r.Remove("nope"); err == nil {
+		t.Error("removing an unknown member accepted")
+	}
+}
+
+func TestRingDeterminism(t *testing.T) {
+	r1, err := NewRing([]string{"c", "a", "b"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"a", "b", "c"}, 64) // order must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(500) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("owner of %q differs across identically-membered rings", k)
+		}
+		if !reflect.DeepEqual(r1.Lookup(k, 3), r2.Lookup(k, 3)) {
+			t.Fatalf("replica order of %q differs across identically-membered rings", k)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"}, DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 3000
+	for _, k := range testKeys(n) {
+		counts[r.Owner(k)]++
+	}
+	for _, m := range r.Members() {
+		frac := float64(counts[m]) / n
+		if frac < 0.15 || frac > 0.55 {
+			t.Errorf("member %s owns %.1f%% of keys; want a roughly even split: %v",
+				m, 100*frac, counts)
+		}
+	}
+}
+
+func TestRingLookupDistinctAndOrdered(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c", "d"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(100) {
+		got := r.Lookup(k, 3)
+		if len(got) != 3 {
+			t.Fatalf("Lookup(%q, 3) returned %d members", k, len(got))
+		}
+		if got[0] != r.Owner(k) {
+			t.Fatalf("Lookup(%q)[0] = %s != Owner %s", k, got[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range got {
+			if seen[m] {
+				t.Fatalf("Lookup(%q) repeated member %s", k, m)
+			}
+			seen[m] = true
+		}
+	}
+	if got := r.Lookup("k", 0); len(got) != 4 {
+		t.Errorf("Lookup(k, 0) = %d members, want all 4", len(got))
+	}
+	if got := r.Lookup("k", 99); len(got) != 4 {
+		t.Errorf("Lookup(k, 99) = %d members, want all 4", len(got))
+	}
+}
+
+// TestRingMinimalRemap is the deterministic-rebalancing property behind
+// "a killed backend's keys redistribute deterministically": removing one
+// member reassigns only the keys it owned, every other key keeps its
+// owner, and re-adding the member restores the exact previous ownership.
+func TestRingMinimalRemap(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"}, DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(2000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+
+	smaller, err := r.Remove("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, k := range keys {
+		after := smaller.Owner(k)
+		if before[k] == "b" {
+			moved++
+			if after == "b" {
+				t.Fatalf("key %q still owned by removed member", k)
+			}
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key %q moved from %s to %s although its owner was not removed",
+				k, before[k], after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys; distribution test is vacuous")
+	}
+
+	restored, err := smaller.With("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if restored.Owner(k) != before[k] {
+			t.Fatalf("re-adding the member did not restore ownership of %q", k)
+		}
+	}
+}

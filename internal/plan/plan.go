@@ -25,12 +25,27 @@ func Write(w io.Writer, p *workload.Plan) error {
 	return enc.Encode(p)
 }
 
+// DecodeStrict decodes one JSON value from r into v, rejecting unknown
+// fields and trailing non-whitespace data. It is the strict decoding
+// discipline shared by the plan codec, the hwgc batch request codec and the
+// HTTP handlers: anything the fuzz targets accept is exactly what the
+// service accepts.
+func DecodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
 // Read decodes and validates a JSON plan.
 func Read(r io.Reader) (*workload.Plan, error) {
 	var p workload.Plan
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&p); err != nil {
+	if err := DecodeStrict(r, &p); err != nil {
 		return nil, fmt.Errorf("plan: decoding: %w", err)
 	}
 	if err := p.Validate(); err != nil {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hwgc"
+	"hwgc/internal/plan"
 )
 
 // maxBodyBytes bounds request bodies; inline plans are the only large
@@ -55,13 +56,23 @@ func (s *Server) instrument(path string, observeLatency bool, h func(http.Respon
 // decodeJSON strictly decodes the request body into v.
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
+	if err := plan.DecodeStrict(r.Body, v); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return false
 	}
 	return true
+}
+
+// retryAfterSeconds converts the configured backpressure hint to the
+// integral seconds value of a Retry-After header, rounding up and clamping
+// to a minimum of 1: a sub-second hint must never be emitted as "0", which
+// clients read as "retry immediately" — the opposite of backpressure.
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 func requirePost(w http.ResponseWriter, r *http.Request) bool {
@@ -73,36 +84,58 @@ func requirePost(w http.ResponseWriter, r *http.Request) bool {
 	return true
 }
 
-// serveJob is the shared serving path of the two POST endpoints: cache
-// lookup first (the zero-cost fast path — a hit never touches the queue),
-// then bounded admission with backpressure, then waiting under the
-// per-request deadline.
-func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, key, kind string, run func() ([]byte, error)) {
+// execute runs one canonicalized job through the shared serving path:
+// cache lookup first (the zero-cost fast path — a hit never touches the
+// queue), then bounded admission with backpressure, then waiting under the
+// per-request deadline. It is the common core of the single-request
+// endpoints and the /v1/batch items.
+func (s *Server) execute(ctx context.Context, key, kind string, run func() ([]byte, error)) (body []byte, cached bool, err error) {
 	if body, ok := s.cache.Get(key); ok {
 		s.metrics.cacheHits.Add(1)
-		writeResult(w, key, "HIT", body)
-		return
+		return body, true, nil
 	}
 	s.metrics.cacheMisses.Add(1)
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	jctx, cancel := context.WithTimeout(ctx, s.opts.Timeout)
 	defer cancel()
-	job := newJob(ctx, key, kind, run)
-	body, err := s.submit(ctx, job)
+	job := newJob(jctx, key, kind, run)
+	body, err = s.submit(jctx, job)
+	return body, false, err
+}
+
+// executeStatus maps an execute error to the per-item/request HTTP status
+// and message, bumping the matching stall counters.
+func (s *Server) executeStatus(kind string, err error) (int, string) {
 	switch {
-	case err == nil:
-		writeResult(w, key, "MISS", body)
 	case errors.Is(err, ErrQueueFull):
 		s.metrics.queueFull.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Round(time.Second)/time.Second)))
-		writeError(w, http.StatusTooManyRequests, "job queue full (depth %d); retry later", s.queue.Cap())
+		return http.StatusTooManyRequests, fmt.Sprintf("job queue full (depth %d); retry later", s.queue.Cap())
 	case errors.Is(err, ErrShuttingDown):
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return http.StatusServiceUnavailable, "server is shutting down"
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		writeError(w, http.StatusGatewayTimeout, "request deadline (%s) exceeded while %s", s.opts.Timeout, kind)
+		return http.StatusGatewayTimeout, fmt.Sprintf("request deadline (%s) exceeded while %s", s.opts.Timeout, kind)
 	default:
-		writeError(w, http.StatusInternalServerError, "%s failed: %v", kind, err)
+		return http.StatusInternalServerError, fmt.Sprintf("%s failed: %v", kind, err)
 	}
+}
+
+// serveJob is the HTTP wrapper of execute for the two single-request POST
+// endpoints.
+func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, key, kind string, run func() ([]byte, error)) {
+	body, cached, err := s.execute(r.Context(), key, kind, run)
+	if err == nil {
+		state := "MISS"
+		if cached {
+			state = "HIT"
+		}
+		writeResult(w, key, state, body)
+		return
+	}
+	code, msg := s.executeStatus(kind, err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.opts.RetryAfter)))
+	}
+	writeError(w, code, "%s", msg)
 }
 
 func writeResult(w http.ResponseWriter, key, cacheState string, body []byte) {

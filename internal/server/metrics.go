@@ -3,11 +3,12 @@ package server
 import (
 	"fmt"
 	"io"
-	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hwgc/internal/stats"
 )
 
 // Metrics is the server's hand-rolled counter set, exposed on /metrics in
@@ -27,11 +28,13 @@ type Metrics struct {
 	jobsDone     atomic.Int64
 	jobsSkipped  atomic.Int64 // jobs whose context expired before a worker picked them up
 	inflightJobs atomic.Int64
+	batchItems   atomic.Int64 // batch items executed (any outcome)
+	batchFailed  atomic.Int64 // batch items that did not end 200
 
 	mu       sync.Mutex
 	requests map[string]int64 // by path
 	statuses map[int]int64    // by HTTP status code
-	lat      latencyHist
+	lat      stats.Hist
 }
 
 // NewMetrics returns an empty counter set.
@@ -56,59 +59,8 @@ func (m *Metrics) Request(path string, code int) {
 // distribution).
 func (m *Metrics) Observe(d time.Duration) {
 	m.mu.Lock()
-	m.lat.observe(d)
+	m.lat.Observe(d)
 	m.mu.Unlock()
-}
-
-// latencyHist is a power-of-two-bucketed latency histogram over
-// microseconds. Bucket i counts observations with ceil(log2(µs)) == i, so
-// quantile estimates are exact to within a factor of two — plenty for p50 /
-// p95 / p99 service-latency reporting without unbounded memory.
-type latencyHist struct {
-	buckets [48]int64
-	count   int64
-	sum     time.Duration
-	max     time.Duration
-}
-
-func (h *latencyHist) observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	us := d.Microseconds()
-	i := 0
-	for us > 0 { // i = bits.Len64(us): bucket upper bound 2^i µs
-		us >>= 1
-		i++
-	}
-	if i >= len(h.buckets) {
-		i = len(h.buckets) - 1
-	}
-	h.buckets[i]++
-	h.count++
-	h.sum += d
-	if d > h.max {
-		h.max = d
-	}
-}
-
-// quantile returns an upper bound on the q-quantile in seconds.
-func (h *latencyHist) quantile(q float64) float64 {
-	if h.count == 0 {
-		return 0
-	}
-	rank := int64(math.Ceil(q * float64(h.count)))
-	if rank < 1 {
-		rank = 1
-	}
-	var cum int64
-	for i, n := range h.buckets {
-		cum += n
-		if cum >= rank {
-			return math.Ldexp(1, i) / 1e6 // 2^i µs in seconds
-		}
-	}
-	return h.max.Seconds()
 }
 
 // queueState is what WritePrometheus needs from the job queue; the server
@@ -197,13 +149,19 @@ func (m *Metrics) WritePrometheus(w io.Writer, q queueState, c cacheState) error
 	add("# HELP gcserved_jobs_skipped_total Queued jobs skipped because their deadline expired first.")
 	add("# TYPE gcserved_jobs_skipped_total counter")
 	add("gcserved_jobs_skipped_total %d", m.jobsSkipped.Load())
+	add("# HELP gcserved_batch_items_total Batch items executed via /v1/batch.")
+	add("# TYPE gcserved_batch_items_total counter")
+	add("gcserved_batch_items_total %d", m.batchItems.Load())
+	add("# HELP gcserved_batch_item_failures_total Batch items that did not complete with status 200.")
+	add("# TYPE gcserved_batch_item_failures_total counter")
+	add("gcserved_batch_item_failures_total %d", m.batchFailed.Load())
 	add("# HELP gcserved_request_seconds Service latency of job endpoints (upper-bound quantile estimates).")
 	add("# TYPE gcserved_request_seconds summary")
-	add("gcserved_request_seconds{quantile=\"0.5\"} %g", lat.quantile(0.50))
-	add("gcserved_request_seconds{quantile=\"0.95\"} %g", lat.quantile(0.95))
-	add("gcserved_request_seconds{quantile=\"0.99\"} %g", lat.quantile(0.99))
-	add("gcserved_request_seconds_sum %g", lat.sum.Seconds())
-	add("gcserved_request_seconds_count %d", lat.count)
+	add("gcserved_request_seconds{quantile=\"0.5\"} %g", lat.Quantile(0.50))
+	add("gcserved_request_seconds{quantile=\"0.95\"} %g", lat.Quantile(0.95))
+	add("gcserved_request_seconds{quantile=\"0.99\"} %g", lat.Quantile(0.99))
+	add("gcserved_request_seconds_sum %g", lat.Sum().Seconds())
+	add("gcserved_request_seconds_count %d", lat.Count())
 	add("# HELP gcserved_uptime_seconds Seconds since the server started.")
 	add("# TYPE gcserved_uptime_seconds gauge")
 	add("gcserved_uptime_seconds %g", time.Since(m.start).Seconds())

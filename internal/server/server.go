@@ -11,6 +11,7 @@
 //
 //	POST /v1/collect   run one collection (named benchmark or inline plan)
 //	POST /v1/sweep     run a Fig. 5-style core-count sweep
+//	POST /v1/batch     run a list of collect/sweep items, per-item results
 //	GET  /v1/workloads list benchmark workloads and baselines
 //	GET  /healthz      liveness + pool state
 //	GET  /metrics      Prometheus text-format counters
@@ -109,6 +110,7 @@ func New(opts Options) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/collect", s.handleCollect)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)

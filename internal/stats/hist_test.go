@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 {
+		t.Errorf("empty hist quantile = %g, want 0", h.Quantile(0.5))
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond) // bucket upper bound 1024µs
+	}
+	h.Observe(100 * time.Millisecond)
+	if h.Count() != 101 {
+		t.Fatalf("count = %d, want 101", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 0.001 || p50 > 0.002048 {
+		t.Errorf("p50 = %g, want within 2x of 1ms", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 {
+		t.Errorf("p99 %g < p50 %g", p99, p50)
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Errorf("max = %s, want 100ms", h.Max())
+	}
+	if h.Sum() != 100*time.Millisecond+100*time.Millisecond {
+		t.Errorf("sum = %s, want 200ms", h.Sum())
+	}
+}
+
+func TestHistNegativeAndHuge(t *testing.T) {
+	var h Hist
+	h.Observe(-time.Second) // clamped to zero
+	h.Observe(1 << 60)      // clamped into the last bucket
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if q := h.Quantile(1.0); q <= 0 {
+		t.Errorf("q100 = %g, want > 0", q)
+	}
+}
+
+func TestHistSnapshotCopy(t *testing.T) {
+	var h Hist
+	h.Observe(time.Millisecond)
+	snap := h // value copy is an independent snapshot
+	h.Observe(time.Millisecond)
+	if snap.Count() != 1 || h.Count() != 2 {
+		t.Errorf("snapshot count %d / live count %d, want 1 / 2", snap.Count(), h.Count())
+	}
+}

@@ -71,6 +71,15 @@ func (r *CollectRequest) CanonicalJSON() ([]byte, error) {
 	return json.Marshal(r)
 }
 
+// KeyBytes returns the content address of a canonical request encoding:
+// the hex SHA-256 of the bytes. It is the one key derivation shared by the
+// server's result cache and the fleet's consistent-hash router, so both
+// tiers agree on which backend owns which cached result.
+func KeyBytes(canonical []byte) string {
+	sum := sha256.Sum256(canonical)
+	return hex.EncodeToString(sum[:])
+}
+
 // Key returns the content address of r: the hex SHA-256 of its canonical
 // JSON encoding. Requests that mean the same simulation share a key.
 func (r *CollectRequest) Key() (string, error) {
@@ -78,8 +87,7 @@ func (r *CollectRequest) Key() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:]), nil
+	return KeyBytes(b), nil
 }
 
 // Run canonicalizes r and executes the simulation it describes.
@@ -157,8 +165,7 @@ func (r *SweepRequest) Key() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:]), nil
+	return KeyBytes(b), nil
 }
 
 // Run canonicalizes r and executes the sweep it describes.
