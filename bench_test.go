@@ -21,6 +21,8 @@ package hwgc
 import (
 	"fmt"
 	"testing"
+
+	"hwgc/internal/machine"
 )
 
 // benchSeed keeps every benchmark deterministic.
@@ -221,6 +223,46 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		cycles += st.Cycles
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkFastForward quantifies the event-driven fast-forward by running
+// the same latency-bound collection fully stepped and with fast-forwarding
+// enabled (the default). The reported gc-clock-cycles must be identical in
+// both modes; only the wall time may differ.
+func BenchmarkFastForward(b *testing.B) {
+	cfg := Config{Cores: 1, ExtraMemLatency: 20}
+	for _, mode := range []struct {
+		name string
+		noFF bool
+	}{
+		{"stepped", true},
+		{"event-driven", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var cycles, skipped int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				h, err := BuildWorkload("javacc", 1, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := machine.New(h, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.NoFastForward = mode.noFF
+				b.StartTimer()
+				st, err := m.Collect()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = st.Cycles
+				_, skipped = m.FastForwardStats()
+			}
+			b.ReportMetric(float64(cycles), "gc-clock-cycles")
+			b.ReportMetric(100*float64(skipped)/float64(cycles), "skipped-%")
+		})
+	}
 }
 
 // BenchmarkStride is extension E1 (paper §VII): sub-object work distribution

@@ -1,0 +1,219 @@
+// Command benchdiff records and compares `go test -bench` results, serving
+// as the repository's benchmark-regression gate (stdlib only, no benchstat
+// dependency).
+//
+// Record a baseline:
+//
+//	go test -run '^$' -bench 'Fig6' -benchtime 2x . | go run ./cmd/benchdiff -record -out BENCH_3.json
+//
+// Compare a fresh run against it:
+//
+//	go test -run '^$' -bench 'Fig6' -benchtime 2x . | go run ./cmd/benchdiff -baseline BENCH_3.json
+//
+// The comparison fails (exit 1) when
+//
+//   - the geometric mean of the per-benchmark ns/op ratios (new/old)
+//     exceeds -threshold (default 1.10, i.e. a >10% mean slowdown),
+//   - any metric listed in -exact (default "gc-clock-cycles") differs at
+//     all — the simulator's cycle counts are deterministic, so any drift is
+//     a correctness bug, not noise — or
+//   - a baseline benchmark is missing from the new run (a gate that cannot
+//     run is a gate that cannot fail).
+//
+// Wall-clock noise on shared CI runners is expected; only the geomean over
+// the whole suite must stay within the threshold, not each benchmark.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark result: Go's wall-clock ns/op plus any custom
+// metrics reported via b.ReportMetric.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is the committed reference file.
+type Baseline struct {
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// cpuSuffix strips the trailing -GOMAXPROCS go test appends to benchmark
+// names, so baselines transfer between machines with different core counts.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts benchmark result lines from `go test -bench` output.
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// Name, iteration count, then (value, unit) pairs.
+		if len(f) < 4 || len(f)%2 != 0 {
+			continue
+		}
+		if _, err := strconv.Atoi(f[1]); err != nil {
+			continue
+		}
+		b := Benchmark{Name: cpuSuffix.ReplaceAllString(f[0], "")}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad value %q in %q", f[i], line)
+			}
+			if f[i+1] == "ns/op" {
+				b.NsPerOp = v
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[f[i+1]] = v
+		}
+		if b.NsPerOp == 0 {
+			return nil, fmt.Errorf("benchdiff: no ns/op in %q", line)
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchdiff: no benchmark results in input")
+	}
+	return out, nil
+}
+
+// compare checks fresh results against the baseline and writes a report to
+// w. It returns an error describing the first gate that failed, or nil.
+func compare(base Baseline, fresh []Benchmark, threshold float64, exact []string, w io.Writer) error {
+	freshBy := map[string]Benchmark{}
+	for _, b := range fresh {
+		freshBy[b.Name] = b
+	}
+	exactSet := map[string]bool{}
+	for _, m := range exact {
+		if m != "" {
+			exactSet[m] = true
+		}
+	}
+
+	var missing, exactBad []string
+	var logSum float64
+	var n int
+	type row struct {
+		name  string
+		ratio float64
+	}
+	var rows []row
+	for _, old := range base.Benchmarks {
+		nw, ok := freshBy[old.Name]
+		if !ok {
+			missing = append(missing, old.Name)
+			continue
+		}
+		ratio := nw.NsPerOp / old.NsPerOp
+		logSum += math.Log(ratio)
+		n++
+		rows = append(rows, row{old.Name, ratio})
+		for m := range exactSet {
+			ov, oHas := old.Metrics[m]
+			nv, nHas := nw.Metrics[m]
+			if oHas != nHas || ov != nv {
+				exactBad = append(exactBad, fmt.Sprintf("%s: %s %v -> %v", old.Name, m, ov, nv))
+			}
+		}
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ratio > rows[j].ratio })
+	for i, r := range rows {
+		if i == 5 {
+			fmt.Fprintf(w, "  ... %d more\n", len(rows)-i)
+			break
+		}
+		fmt.Fprintf(w, "  %-60s %+.1f%%\n", r.name, 100*(r.ratio-1))
+	}
+	geomean := math.Exp(logSum / float64(max(n, 1)))
+	fmt.Fprintf(w, "geomean ns/op ratio over %d benchmarks: %.3f (threshold %.3f)\n", n, geomean, threshold)
+
+	switch {
+	case len(exactBad) > 0:
+		return fmt.Errorf("deterministic metrics changed:\n  %s", strings.Join(exactBad, "\n  "))
+	case len(missing) > 0:
+		return fmt.Errorf("baseline benchmarks missing from this run: %s", strings.Join(missing, ", "))
+	case n == 0:
+		return fmt.Errorf("no benchmarks in common with the baseline")
+	case geomean > threshold:
+		return fmt.Errorf("geomean ns/op regression %.1f%% exceeds %.1f%%", 100*(geomean-1), 100*(threshold-1))
+	}
+	return nil
+}
+
+func main() {
+	record := flag.Bool("record", false, "record a new baseline instead of comparing")
+	out := flag.String("out", "BENCH_3.json", "baseline file to write with -record")
+	baselinePath := flag.String("baseline", "", "baseline file to compare against")
+	threshold := flag.Float64("threshold", 1.10, "maximum allowed geomean ns/op ratio (new/old)")
+	exactList := flag.String("exact", "gc-clock-cycles", "comma-separated metrics that must match exactly")
+	note := flag.String("note", "", "free-form note stored in a recorded baseline")
+	flag.Parse()
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *record {
+		base := Baseline{Note: *note, Benchmarks: results}
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("recorded %d benchmarks to %s\n", len(results), *out)
+		return
+	}
+
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: need -record or -baseline FILE")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad baseline %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	if err := compare(base, results, *threshold, strings.Split(*exactList, ","), os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("PASS: within threshold, deterministic metrics unchanged")
+}

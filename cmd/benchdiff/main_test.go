@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: hwgc
+BenchmarkSimulatorThroughput-16         12      52000000 ns/op        1980000 sim-cycles/s
+BenchmarkFig6/javacc/cores=1            1       95000000 ns/op        6741031 gc-clock-cycles
+BenchmarkFig6/javacc/cores=16-4         1        5000000 ns/op         215000 gc-clock-cycles          31.4 speedup
+PASS
+ok      hwgc    2.1s
+`
+
+func parsed(t *testing.T, s string) []Benchmark {
+	t.Helper()
+	b, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestParseBench(t *testing.T) {
+	bs := parsed(t, sampleOutput)
+	if len(bs) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(bs))
+	}
+	if bs[0].Name != "BenchmarkSimulatorThroughput" {
+		t.Errorf("cpu suffix not stripped: %q", bs[0].Name)
+	}
+	if bs[2].Name != "BenchmarkFig6/javacc/cores=16" {
+		t.Errorf("cpu suffix not stripped from subbenchmark: %q", bs[2].Name)
+	}
+	if bs[1].NsPerOp != 95000000 {
+		t.Errorf("ns/op = %v, want 95000000", bs[1].NsPerOp)
+	}
+	if bs[1].Metrics["gc-clock-cycles"] != 6741031 {
+		t.Errorf("gc-clock-cycles = %v, want 6741031", bs[1].Metrics["gc-clock-cycles"])
+	}
+	if _, err := parseBench(strings.NewReader("PASS\nok hwgc 1s\n")); err == nil {
+		t.Error("expected error for input with no benchmarks")
+	}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	base := Baseline{Benchmarks: parsed(t, sampleOutput)}
+	fresh := parsed(t, strings.ReplaceAll(sampleOutput, "95000000", "99000000")) // +4%
+	var sb strings.Builder
+	if err := compare(base, fresh, 1.10, []string{"gc-clock-cycles"}, &sb); err != nil {
+		t.Fatalf("4%% slowdown on one benchmark must pass a 10%% geomean gate: %v", err)
+	}
+}
+
+func TestCompareGeomeanRegression(t *testing.T) {
+	base := Baseline{Benchmarks: parsed(t, sampleOutput)}
+	fresh := parsed(t, sampleOutput)
+	for i := range fresh {
+		fresh[i].NsPerOp *= 1.25 // +25% across the board
+	}
+	var sb strings.Builder
+	err := compare(base, fresh, 1.10, nil, &sb)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("expected geomean regression failure, got %v", err)
+	}
+}
+
+func TestCompareExactMetricDrift(t *testing.T) {
+	base := Baseline{Benchmarks: parsed(t, sampleOutput)}
+	fresh := parsed(t, strings.ReplaceAll(sampleOutput, "6741031 gc-clock-cycles", "6741030 gc-clock-cycles"))
+	var sb strings.Builder
+	err := compare(base, fresh, 1.10, []string{"gc-clock-cycles"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "deterministic") {
+		t.Fatalf("a 1-cycle drift must fail the gate, got %v", err)
+	}
+	// Wall-clock-dependent metrics are not gated.
+	fresh = parsed(t, strings.ReplaceAll(sampleOutput, "1980000 sim-cycles/s", "990000 sim-cycles/s"))
+	if err := compare(base, fresh, 1.10, []string{"gc-clock-cycles"}, &sb); err != nil {
+		t.Fatalf("sim-cycles/s is noise and must not be gated: %v", err)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := Baseline{Benchmarks: parsed(t, sampleOutput)}
+	fresh := parsed(t, sampleOutput)[:2] // drop one
+	var sb strings.Builder
+	err := compare(base, fresh, 1.10, nil, &sb)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("a silently skipped benchmark must fail the gate, got %v", err)
+	}
+}

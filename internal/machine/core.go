@@ -74,6 +74,11 @@ type core struct {
 	inRoots     bool
 	startupLeft int64
 
+	// First machine cycle at which a load-wait step can make progress; the
+	// cycle loop skips the core's step while m.cycle < sleepUntil (the
+	// skipped cycles' stall counts were added up front, see stallOnLoad).
+	sleepUntil int64
+
 	stats CoreStats
 }
 
@@ -106,11 +111,11 @@ func (c *core) step() {
 		c.issueScanHdr()
 
 	case sScanHdrWait:
-		if !c.m.mem.LoadReady(c.id, mem.HeaderLoad) {
-			c.stats.HeaderLoadStall++
+		hdr, doneAt, ok := c.m.mem.PollLoad(c.id, mem.HeaderLoad)
+		if !ok {
+			c.stallOnLoad(doneAt, &c.stats.HeaderLoadStall)
 			return
 		}
-		hdr := c.m.mem.TakeLoad(c.id, mem.HeaderLoad)
 		c.m.hc.Update(c.m.sb.Scan(), hdr)
 		c.beginObject(hdr)
 
@@ -118,11 +123,11 @@ func (c *core) step() {
 		c.issuePtrLoad()
 
 	case sPtrLoadWait:
-		if !c.m.mem.LoadReady(c.id, mem.BodyLoad) {
-			c.stats.BodyLoadStall++
+		w, doneAt, ok := c.m.mem.PollLoad(c.id, mem.BodyLoad)
+		if !ok {
+			c.stallOnLoad(doneAt, &c.stats.BodyLoadStall)
 			return
 		}
-		w := c.m.mem.TakeLoad(c.id, mem.BodyLoad)
 		c.childPtr = object.Addr(w)
 		c.stats.PointersSeen++
 		c.beginChild()
@@ -131,11 +136,11 @@ func (c *core) step() {
 		c.issueChildPeek()
 
 	case sChildPeekWait:
-		if !c.m.mem.LoadReady(c.id, mem.HeaderLoad) {
-			c.stats.HeaderLoadStall++
+		hdr, doneAt, ok := c.m.mem.PollLoad(c.id, mem.HeaderLoad)
+		if !ok {
+			c.stallOnLoad(doneAt, &c.stats.HeaderLoadStall)
 			return
 		}
-		hdr := c.m.mem.TakeLoad(c.id, mem.HeaderLoad)
 		// Note: unlike the locked header read, the peek result must NOT be
 		// installed in the header cache. The peek races the child's
 		// evacuation by another core: its memory load can return the old
@@ -152,11 +157,11 @@ func (c *core) step() {
 		c.issueChildHdr()
 
 	case sChildHdrWait:
-		if !c.m.mem.LoadReady(c.id, mem.HeaderLoad) {
-			c.stats.HeaderLoadStall++
+		hdr, doneAt, ok := c.m.mem.PollLoad(c.id, mem.HeaderLoad)
+		if !ok {
+			c.stallOnLoad(doneAt, &c.stats.HeaderLoadStall)
 			return
 		}
-		hdr := c.m.mem.TakeLoad(c.id, mem.HeaderLoad)
 		c.m.hc.Update(c.childPtr, hdr)
 		c.consumeChildHdr(hdr)
 
@@ -176,11 +181,12 @@ func (c *core) step() {
 		c.issueDataLoad()
 
 	case sDataWait:
-		if !c.m.mem.LoadReady(c.id, mem.BodyLoad) {
-			c.stats.BodyLoadStall++
+		w, doneAt, ok := c.m.mem.PollLoad(c.id, mem.BodyLoad)
+		if !ok {
+			c.stallOnLoad(doneAt, &c.stats.BodyLoadStall)
 			return
 		}
-		c.dataWord = c.m.mem.TakeLoad(c.id, mem.BodyLoad)
+		c.dataWord = w
 		c.storeDataWord()
 
 	case sDataStore:
@@ -199,6 +205,29 @@ func (c *core) step() {
 	case sDone:
 		// Poll the final barrier so the machine can observe completion.
 		c.m.sb.Barrier(barrierDone, c.id)
+	}
+}
+
+// stallOnLoad accounts one stalled cycle waiting on a load port; doneAt is
+// the load's completion cycle as reported by PollLoad (0 while it awaits
+// acceptance). Once the load has been accepted its completion cycle is
+// fixed, so the core's remaining stall cycles are known: they are added to
+// the counter up front and the core sleeps — the cycle loop skips its step —
+// until the cycle the data becomes visible. The accounting is arithmetic
+// identical to stepping through every waiting cycle; like the event-driven
+// fast-forward it is disabled under a Probe, a concurrent mutator, or
+// NoFastForward (m.microSleep).
+func (c *core) stallOnLoad(doneAt int64, counter *int64) {
+	*counter++
+	if doneAt > 0 && c.m.microSleep {
+		// The memory clock has not ticked for this machine cycle yet, so the
+		// load completes during the tick of machine cycle c.m.cycle+d-1 and
+		// the step of cycle c.m.cycle+d consumes it; the d waiting cycles are
+		// c.m.cycle .. c.m.cycle+d-1, of which one is counted above.
+		if d := doneAt - c.m.mem.Cycle(); d > 1 {
+			*counter += d - 1
+			c.sleepUntil = c.m.cycle + d
+		}
 	}
 }
 
@@ -246,6 +275,7 @@ func (c *core) grabScan() {
 		sb.SetBusy(c.id, false)
 		if sb.AllIdle() {
 			c.st = sDone
+			c.m.doneCount++
 			sb.Barrier(barrierDone, c.id)
 		}
 		return
@@ -263,6 +293,7 @@ func (c *core) grabScan() {
 		sb.SetBusy(c.id, false)
 		if sb.AllIdle() {
 			c.st = sDone
+			c.m.doneCount++
 			sb.Barrier(barrierDone, c.id)
 		}
 		return

@@ -73,6 +73,12 @@ func (f *headerFIFO) PopIf(addr object.Addr) (object.Word, bool) {
 		if f.head == len(f.entries) { // reclaim storage when drained
 			f.entries = f.entries[:0]
 			f.head = 0
+		} else if f.head >= 1024 && f.head*2 >= len(f.entries) {
+			// Compact once the consumed prefix dominates, bounding the
+			// backing array to O(occupancy) rather than O(total pushes).
+			n := copy(f.entries, f.entries[f.head:])
+			f.entries = f.entries[:n]
+			f.head = 0
 		}
 		f.hits++
 		return hdr, true

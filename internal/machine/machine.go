@@ -32,15 +32,34 @@ type Machine struct {
 	mutStarted bool
 
 	cores         []*core
+	coreBuf       []core // backing storage for cores, reused across Collects
+	doneCount     int    // cores in sDone (they never leave it)
 	cycle         int64
 	fifoDrops     int64
 	toLimit       object.Addr
 	emptyObserved bool // some core sought work this cycle and found scan == free
 	err           error
 
+	// Event-driven fast-forward state (see fastforward.go).
+	ffKinds   []ffStall // per-core scratch, reused every dead cycle
+	ffJumps   int64
+	ffSkipped int64
+	// microSleep allows individual cores waiting on an accepted load to
+	// pre-account their stall cycles and skip their steps until the data
+	// arrives (core.stallOnLoad). Gated exactly like fastForward, and
+	// computed once per Collect.
+	microSleep bool
+
 	// Probe, when non-nil, is invoked after every simulated clock cycle;
 	// the monitoring framework (internal/trace) uses it to sample signals.
 	Probe func(cycle int64, m *Machine)
+
+	// NoFastForward forces per-cycle stepping even when no Probe is
+	// attached. The determinism suite uses it to check that fast-forwarded
+	// collections are bit-identical to stepped ones. It deliberately lives
+	// on the Machine rather than in Config: Stats embeds the Config, which
+	// must not differ between the two modes.
+	NoFastForward bool
 }
 
 // New creates a coprocessor over h.
@@ -126,9 +145,14 @@ func (m *Machine) Collect() (Stats, error) {
 	m.cycle = 0
 	m.err = nil
 
-	m.cores = make([]*core, m.cfg.Cores)
-	for i := range m.cores {
-		c := &core{id: i, m: m, st: sIdle}
+	if len(m.coreBuf) != m.cfg.Cores {
+		m.coreBuf = make([]core, m.cfg.Cores)
+		m.cores = make([]*core, m.cfg.Cores)
+		m.ffKinds = make([]ffStall, m.cfg.Cores)
+	}
+	for i := range m.coreBuf {
+		c := &m.coreBuf[i]
+		*c = core{id: i, m: m, st: sIdle}
 		if i == 0 {
 			if m.cfg.StartupCycles > 0 {
 				c.st = sStartup
@@ -140,6 +164,10 @@ func (m *Machine) Collect() (Stats, error) {
 		}
 		m.cores[i] = c
 	}
+	m.doneCount = 0
+	m.ffJumps = 0
+	m.ffSkipped = 0
+	m.microSleep = m.Probe == nil && !m.NoFastForward && m.mut == nil
 
 	maxCycles := m.cfg.MaxCycles
 	if maxCycles <= 0 {
@@ -152,6 +180,7 @@ func (m *Machine) Collect() (Stats, error) {
 	var emptyCycles int64
 	var scanEnd int64 = -1
 
+	cores := m.coreBuf // stable for the whole collection
 	for {
 		m.cycle++
 		if m.cycle > maxCycles {
@@ -168,8 +197,11 @@ func (m *Machine) Collect() (Stats, error) {
 				return Stats{}, m.err
 			}
 		}
-		for _, c := range m.cores {
-			c.step()
+		for i := range cores {
+			if c := &cores[i]; c.sleepUntil <= m.cycle {
+				c.step()
+			}
+			// else load-waiting: stalls pre-added by stallOnLoad.
 		}
 		if m.err != nil {
 			return Stats{}, m.err
@@ -190,7 +222,11 @@ func (m *Machine) Collect() (Stats, error) {
 			break
 		}
 		if m.Probe != nil {
+			// Monitoring samples signals on every cycle, so tracing forces
+			// full per-cycle stepping (no fast-forward).
 			m.Probe(m.cycle, m)
+		} else if !m.NoFastForward && m.mut == nil {
+			m.fastForward(maxCycles, scanEnd, &emptyCycles)
 		}
 	}
 
@@ -227,12 +263,7 @@ func (m *Machine) Collect() (Stats, error) {
 
 // allDone reports whether every core has detected termination.
 func (m *Machine) allDone() bool {
-	for _, c := range m.cores {
-		if c.st != sDone {
-			return false
-		}
-	}
-	return true
+	return m.doneCount == m.cfg.Cores
 }
 
 // coreStateName maps micro-states to short names for traces.

@@ -1,6 +1,9 @@
 package machine
 
 import (
+	"fmt"
+	"reflect"
+
 	"hwgc/internal/mem"
 	"hwgc/internal/object"
 	"hwgc/internal/syncblock"
@@ -114,6 +117,40 @@ func (s *Stats) Mean() CoreStats {
 	t.HeaderLoadStall /= n
 	t.HeaderStoreStall /= n
 	return t
+}
+
+// DiffFields compares s against o field by field and returns a description
+// of every top-level field that differs (per-core differences name the core
+// index), or nil when the two are identical. The determinism suite uses it
+// to pinpoint which counter a fast-forwarded collection got wrong instead of
+// reporting an opaque struct mismatch.
+func (s *Stats) DiffFields(o *Stats) []string {
+	var diffs []string
+	sv := reflect.ValueOf(*s)
+	ov := reflect.ValueOf(*o)
+	t := sv.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		a, b := sv.Field(i).Interface(), ov.Field(i).Interface()
+		if reflect.DeepEqual(a, b) {
+			continue
+		}
+		if f.Name == "PerCore" {
+			pa, pb := s.PerCore, o.PerCore
+			if len(pa) != len(pb) {
+				diffs = append(diffs, fmt.Sprintf("PerCore: %d vs %d cores", len(pa), len(pb)))
+				continue
+			}
+			for c := range pa {
+				if pa[c] != pb[c] {
+					diffs = append(diffs, fmt.Sprintf("PerCore[%d]: %+v vs %+v", c, pa[c], pb[c]))
+				}
+			}
+			continue
+		}
+		diffs = append(diffs, fmt.Sprintf("%s: %+v vs %+v", f.Name, a, b))
+	}
+	return diffs
 }
 
 // EmptyWorklistFraction returns the Table I metric: the fraction of clock

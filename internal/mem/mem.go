@@ -21,10 +21,19 @@
 // body word is written and read exactly once per collection cycle; the
 // scheduler only guarantees that all buffers are flushed at the end of a GC
 // cycle (Drained).
+//
+// The scheduler also supports event-driven fast-forwarding by the machine's
+// cycle loop: Quiescent, LoadPending and LastInflightDoneAt expose when the
+// next state transition can occur, and FastForwardBy advances the clock over
+// a window of dead cycles in one jump. While Quiescent, a Tick performs no
+// acceptance and changes no statistic, so skipping such ticks (and applying
+// the due commits and completions at the jump target) is observationally
+// identical to stepping them.
 package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hwgc/internal/object"
 )
@@ -62,6 +71,9 @@ func (p Port) IsLoad() bool { return p == HeaderLoad || p == BodyLoad }
 
 // IsHeader reports whether the port carries header traffic.
 func (p Port) IsHeader() bool { return p == HeaderLoad || p == HeaderStore }
+
+// loadPorts enumerates the two load ports for scan loops.
+var loadPorts = [2]Port{HeaderLoad, BodyLoad}
 
 // Config parameterizes the memory model.
 type Config struct {
@@ -143,6 +155,8 @@ type buffer struct {
 
 // inflightStore is a store that has been accepted but not yet committed; it
 // is tracked so the comparator array can delay same-address header loads.
+// Because every store is accepted with the same latency, the inflight list
+// is ordered by doneAt and commits strip a prefix.
 type inflightStore struct {
 	addr   object.Addr
 	data   object.Word
@@ -162,28 +176,6 @@ type Stats struct {
 	TotalRequests int64
 }
 
-// Memory is the simulated memory plus its access scheduler. It is not safe
-// for concurrent use; the cycle-stepped machine drives it from one
-// goroutine. The software baseline collectors bypass the timing model
-// entirely and operate on the backing slice directly.
-type Memory struct {
-	data       []object.Word
-	lat        int64
-	bw         int
-	sqDepth    int
-	banks      int
-	bankBusy   int64
-	interleave int
-	busyUntil  []int64
-	cycle      int64
-	bufs       [][numPorts]buffer // load ports only
-	storeQ     [][2][]storeReq    // store ports: [0]=HeaderStore, [1]=BodyStore
-	inflight   []inflightStore
-	rr         int   // round-robin arbitration pointer
-	seq        int64 // store issue sequence numbers
-	stats      Stats
-}
-
 // storeReq is a store waiting in a core's store-port queue for acceptance.
 // seq is a global issue sequence number used by the comparator array to keep
 // same-address header stores in issue order.
@@ -191,6 +183,133 @@ type storeReq struct {
 	addr object.Addr
 	data object.Word
 	seq  int64
+}
+
+// storeRing is a fixed-capacity FIFO of write-behind stores for one store
+// port. A ring avoids the per-accept slice reslicing and re-append growth of
+// a plain slice queue — the queue is bounded by StoreQueueDepth, so the
+// backing array is allocated once per core and reused for the whole run.
+type storeRing struct {
+	buf  []storeReq
+	head int
+	n    int
+}
+
+func (r *storeRing) push(s storeReq) {
+	p := r.head + r.n
+	if p >= len(r.buf) {
+		p -= len(r.buf)
+	}
+	r.buf[p] = s
+	r.n++
+}
+
+func (r *storeRing) front() *storeReq { return &r.buf[r.head] }
+
+func (r *storeRing) pop() {
+	r.head++
+	if r.head >= len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+}
+
+// at returns the i-th queued store in FIFO order.
+func (r *storeRing) at(i int) *storeReq {
+	p := r.head + i
+	if p >= len(r.buf) {
+		p -= len(r.buf)
+	}
+	return &r.buf[p]
+}
+
+// Per-address pending-header-store counters (Memory.hdrCnt): the comparator
+// array of the store scheduler needs, per address, how many header stores
+// are waiting in a write-behind queue (low 16 bits) and how many have been
+// accepted but not yet committed (high 16 bits). A flat array indexed by
+// word address makes every probe a single load; both halves drain back to
+// zero as the stores commit, and the addresses touched by an aborted
+// collection are re-zeroed from a dirty list (hdrDirty), so the array never
+// needs a full clear.
+const (
+	hdrCntQueuedOne   = 1       // one queued header store
+	hdrCntInflightOne = 1 << 16 // one accepted, uncommitted header store
+	hdrCntQueuedMask  = 1<<16 - 1
+)
+
+// intRing is a fixed-capacity FIFO of small integers (the load-completion
+// queue; capacity 2 entries per core bounds it).
+type intRing struct {
+	buf  []int64
+	head int
+	n    int
+}
+
+func (r *intRing) push(v int64) {
+	p := r.head + r.n
+	if p >= len(r.buf) {
+		p -= len(r.buf)
+	}
+	r.buf[p] = v
+	r.n++
+}
+
+func (r *intRing) front() int64 { return r.buf[r.head] }
+
+func (r *intRing) pop() {
+	r.head++
+	if r.head >= len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+}
+
+// Memory is the simulated memory plus its access scheduler. It is not safe
+// for concurrent use; the cycle-stepped machine drives it from one
+// goroutine. The software baseline collectors bypass the timing model
+// entirely and operate on the backing slice directly.
+type Memory struct {
+	data         []object.Word
+	lat          int64
+	bw           int
+	sqDepth      int
+	banks        int
+	bankBusy     int64
+	interleave   int
+	busyUntil    []int64
+	cycle        int64
+	bufs         [][numPorts]buffer // load ports only
+	storeQ       [][2]storeRing     // store ports: [0]=HeaderStore, [1]=BodyStore
+	inflight     []inflightStore    // accepted stores, ordered by doneAt
+	inflightHead int                // first uncommitted entry of inflight
+	rr           int                // round-robin arbitration pointer
+	seq          int64              // store issue sequence numbers
+	stats        Stats
+
+	// Derived occupancy counters, maintained incrementally so the per-cycle
+	// Tick can skip whole phases (and the machine's fast-forward can test
+	// quiescence) without scanning every buffer.
+	unaccepted    int     // issued requests not yet accepted (loads + queued stores)
+	storeQueued   int     // stores waiting in some core's write-behind queue
+	validLoads    int     // occupied load buffers (accepted or not, taken or not)
+	acceptedLoads int     // accepted loads whose data is not yet ready
+	hdrCnt        []int32 // pending header stores per address, len(data)
+
+	// waiting has one bit per port (1<<port) for every core with a request
+	// awaiting acceptance, so arbitration skips idle cores with one load.
+	waiting []uint8
+
+	// waitMask packs one bit per core with waiting[core] != 0, so the
+	// arbitration loop jumps between waiting cores instead of scanning all
+	// of them.
+	waitMask []uint64
+
+	// completions queues accepted loads in acceptance order. Latency is
+	// uniform, so this is also completion order: completeDue pops due
+	// entries instead of scanning every core's buffers. An entry encodes
+	// doneAt<<16 | core<<1 | portIdx (0 = HeaderLoad, 1 = BodyLoad), so
+	// the not-yet-due check never touches a buffer.
+	completions intRing
 }
 
 // storeIdx maps a store port to its queue index.
@@ -218,6 +337,7 @@ func New(data []object.Word, cfg Config) *Memory {
 	if m.banks > 0 {
 		m.busyUntil = make([]int64, m.banks)
 	}
+	m.hdrCnt = make([]int32, len(data))
 	return m
 }
 
@@ -245,11 +365,66 @@ func (m *Memory) bankReady(a object.Addr, claim bool) bool {
 
 // AttachCores sizes the per-core buffer array for n cores and clears all
 // buffers. It must be called before the first Tick of a collection cycle.
+// Buffer and queue storage is reused across collection cycles of a reused
+// machine, so a steady-state mutator run does not allocate here.
 func (m *Memory) AttachCores(n int) {
-	m.bufs = make([][numPorts]buffer, n)
-	m.storeQ = make([][2][]storeReq, n)
+	// In a completed collection every pending header store drained, taking
+	// its hdrCnt entry back to zero. After an aborted one, the non-zero
+	// entries correspond exactly to the still-queued and the accepted but
+	// uncommitted header stores, so re-zero those before discarding the
+	// queues.
+	if m.storeQueued > 0 {
+		for i := range m.storeQ {
+			q := &m.storeQ[i][0] // storeIdx(HeaderStore) == 0
+			for j := 0; j < q.n; j++ {
+				m.hdrCnt[q.at(j).addr] = 0
+			}
+		}
+	}
+	for _, s := range m.inflight[m.inflightHead:] {
+		if s.header {
+			m.hdrCnt[s.addr] = 0
+		}
+	}
+
+	if cap(m.bufs) >= n {
+		m.bufs = m.bufs[:n]
+		for i := range m.bufs {
+			m.bufs[i] = [numPorts]buffer{}
+		}
+	} else {
+		m.bufs = make([][numPorts]buffer, n)
+	}
+	if cap(m.storeQ) >= n {
+		m.storeQ = m.storeQ[:n]
+	} else {
+		m.storeQ = make([][2]storeRing, n)
+	}
+	for i := range m.storeQ {
+		for j := range m.storeQ[i] {
+			r := &m.storeQ[i][j]
+			if len(r.buf) != m.sqDepth {
+				r.buf = make([]storeReq, m.sqDepth)
+			}
+			r.head, r.n = 0, 0
+		}
+	}
+	if len(m.waiting) != n {
+		m.waiting = make([]uint8, n)
+		m.waitMask = make([]uint64, (n+63)/64)
+		m.completions.buf = make([]int64, 2*n)
+	} else {
+		clear(m.waiting)
+		clear(m.waitMask)
+	}
+	m.completions.head, m.completions.n = 0, 0
 	m.inflight = m.inflight[:0]
+	m.inflightHead = 0
 	m.rr = 0
+	m.unaccepted = 0
+	m.storeQueued = 0
+	m.validLoads = 0
+	m.acceptedLoads = 0
 }
 
 // Size returns the number of words of backing store.
@@ -281,6 +456,10 @@ func (m *Memory) IssueLoad(core int, port Port, addr object.Addr) bool {
 		return false
 	}
 	*b = buffer{valid: true, addr: addr}
+	m.unaccepted++
+	m.validLoads++
+	m.waiting[core] |= 1 << port
+	m.waitMask[core>>6] |= 1 << (core & 63)
 	m.stats.TotalRequests++
 	return true
 }
@@ -292,6 +471,37 @@ func (m *Memory) LoadReady(core int, port Port) bool {
 	return b.valid && b.ready
 }
 
+// LoadPending returns the completion cycle of the accepted, not yet
+// completed load in core/port's buffer. It reports false when the buffer is
+// empty, still awaiting acceptance, or already completed. The machine's
+// fast-forward uses this as the core's next possible wake-up event.
+func (m *Memory) LoadPending(core int, port Port) (doneAt int64, ok bool) {
+	b := &m.bufs[core][port]
+	if b.valid && b.accepted && !b.ready {
+		return b.doneAt, true
+	}
+	return 0, false
+}
+
+// PollLoad combines LoadReady, TakeLoad and LoadPending in a single buffer
+// access for the machine's per-cycle wait states: when the load has
+// completed it is consumed (ok true); otherwise ok is false and doneAt is
+// its completion cycle if it has been accepted, 0 while it still awaits
+// acceptance.
+func (m *Memory) PollLoad(core int, port Port) (w object.Word, doneAt int64, ok bool) {
+	b := &m.bufs[core][port]
+	if b.valid && b.ready {
+		w = b.data
+		*b = buffer{}
+		m.validLoads--
+		return w, 0, true
+	}
+	if b.accepted {
+		return 0, b.doneAt, false
+	}
+	return 0, 0, false
+}
+
 // TakeLoad consumes a completed load and frees the buffer.
 func (m *Memory) TakeLoad(core int, port Port) object.Word {
 	b := &m.bufs[core][port]
@@ -300,6 +510,7 @@ func (m *Memory) TakeLoad(core int, port Port) object.Word {
 	}
 	w := b.data
 	*b = buffer{}
+	m.validLoads--
 	return w
 }
 
@@ -311,11 +522,18 @@ func (m *Memory) IssueStore(core int, port Port, addr object.Addr, w object.Word
 		panic("mem: IssueStore on load port " + port.String())
 	}
 	q := &m.storeQ[core][storeIdx(port)]
-	if len(*q) >= m.sqDepth {
+	if q.n >= m.sqDepth {
 		return false
 	}
 	m.seq++
-	*q = append(*q, storeReq{addr, w, m.seq})
+	q.push(storeReq{addr, w, m.seq})
+	m.unaccepted++
+	m.storeQueued++
+	m.waiting[core] |= 1 << port
+	m.waitMask[core>>6] |= 1 << (core & 63)
+	if port == HeaderStore {
+		m.hdrCnt[addr] += hdrCntQueuedOne
+	}
 	m.stats.TotalRequests++
 	return true
 }
@@ -323,7 +541,7 @@ func (m *Memory) IssueStore(core int, port Port, addr object.Addr, w object.Word
 // StoreBufferFree reports whether a new store can be issued on core/port
 // without stalling.
 func (m *Memory) StoreBufferFree(core int, port Port) bool {
-	return len(m.storeQ[core][storeIdx(port)]) < m.sqDepth
+	return m.storeQ[core][storeIdx(port)].n < m.sqDepth
 }
 
 // headerStoreOrderedBefore reports whether a header store to addr with a
@@ -336,9 +554,16 @@ func (m *Memory) StoreBufferFree(core int, port Port) bool {
 // store is still buffered, and without this rule the gray header could
 // commit last.
 func (m *Memory) headerStoreOrderedBefore(addr object.Addr, seq int64) bool {
-	for i := range m.storeQ {
-		for _, s := range m.storeQ[i][0] {
-			if s.addr == addr && s.seq < seq {
+	if m.hdrCnt[addr]&hdrCntQueuedMask < 2 {
+		return false // the probe itself is the only queued header store to addr
+	}
+	for i, w := range m.waiting {
+		if w&(1<<HeaderStore) == 0 {
+			continue // waiting bit mirrors a non-empty header queue
+		}
+		q := &m.storeQ[i][0]
+		for j := 0; j < q.n; j++ {
+			if s := q.at(j); s.addr == addr && s.seq < seq {
 				return true
 			}
 		}
@@ -350,20 +575,53 @@ func (m *Memory) headerStoreOrderedBefore(addr object.Addr, seq int64) bool {
 // either waiting in a store buffer or accepted but not yet committed. While
 // it is, the comparator array delays header loads from the same address.
 func (m *Memory) headerStorePending(addr object.Addr) bool {
-	for i := range m.storeQ {
-		for _, s := range m.storeQ[i][0] {
-			if s.addr == addr {
-				return true
-			}
-		}
+	return m.hdrCnt[addr] != 0
+}
+
+// commitDue commits the prefix of in-flight stores whose latency has
+// elapsed. The list is ordered by completion cycle; committed entries are
+// skipped via a head index, and the consumed prefix is compacted away only
+// once it dominates the backing array (amortized O(1) per commit).
+func (m *Memory) commitDue() {
+	h := m.inflightHead
+	if h == len(m.inflight) || m.inflight[h].doneAt > m.cycle {
+		return
 	}
-	for i := range m.inflight {
-		s := &m.inflight[i]
-		if s.header && s.addr == addr {
-			return true
+	for h < len(m.inflight) && m.inflight[h].doneAt <= m.cycle {
+		s := &m.inflight[h]
+		m.data[s.addr] = s.data
+		if s.header {
+			m.hdrCnt[s.addr] -= hdrCntInflightOne
 		}
+		h++
 	}
-	return false
+	if h == len(m.inflight) {
+		m.inflight = m.inflight[:0]
+		h = 0
+	} else if h >= 1024 && 2*h >= len(m.inflight) {
+		n := copy(m.inflight, m.inflight[h:])
+		m.inflight = m.inflight[:n]
+		h = 0
+	}
+	m.inflightHead = h
+}
+
+// completeDue marks accepted loads whose latency has elapsed as ready,
+// capturing the loaded word after all due stores have committed. Accepted
+// loads complete in acceptance order (the latency is uniform), so the due
+// prefix of the completion queue identifies them without scanning buffers.
+func (m *Memory) completeDue() {
+	for m.completions.n > 0 {
+		e := m.completions.front()
+		if e>>16 > m.cycle {
+			return
+		}
+		b := &m.bufs[e>>1&0x7fff][Port(e&1)<<1] // portIdx 0 -> HeaderLoad(0), 1 -> BodyLoad(2)
+		b.data = m.data[b.addr]
+		b.ready = true
+		m.acceptedLoads--
+		m.completions.pop()
+	}
 }
 
 // Tick advances the memory system by one core clock cycle: commit due
@@ -371,33 +629,10 @@ func (m *Memory) headerStorePending(addr object.Addr) bool {
 func (m *Memory) Tick() {
 	m.cycle++
 
-	// Commit stores whose latency has elapsed.
-	kept := m.inflight[:0]
-	for _, s := range m.inflight {
-		if s.doneAt <= m.cycle {
-			m.data[s.addr] = s.data
-		} else {
-			kept = append(kept, s)
-		}
-	}
-	m.inflight = kept
+	m.commitDue()
+	m.completeDue()
 
-	// Complete accepted loads.
-	pending := len(m.inflight)
-	for i := range m.bufs {
-		pending += len(m.storeQ[i][0]) + len(m.storeQ[i][1])
-		for _, p := range [2]Port{HeaderLoad, BodyLoad} {
-			b := &m.bufs[i][p]
-			if !b.valid {
-				continue
-			}
-			pending++
-			if b.accepted && !b.ready && b.doneAt <= m.cycle {
-				b.data = m.data[b.addr]
-				b.ready = true
-			}
-		}
-	}
+	pending := len(m.inflight) - m.inflightHead + m.storeQueued + m.validLoads
 	if pending > m.stats.PeakPending {
 		m.stats.PeakPending = pending
 	}
@@ -408,95 +643,160 @@ func (m *Memory) Tick() {
 	if n == 0 {
 		return
 	}
+	if m.unaccepted > 0 {
+		m.accept(n)
+	}
+	m.rr++
+	if m.rr >= n {
+		m.rr = 0
+	}
+}
+
+// accept runs the arbitration loop for one cycle, admitting up to Bandwidth
+// waiting requests.
+func (m *Memory) accept(n int) {
 	budget := m.bw
 	anyAccepted := false
-	for k := 0; k < n && budget > 0; k++ {
-		ci := (m.rr + k) % n
-		for p := Port(0); p < numPorts && budget > 0; p++ {
-			if p.IsLoad() {
-				b := &m.bufs[ci][p]
-				if !b.valid || b.accepted || b.ready {
-					continue
-				}
-				if p == HeaderLoad && m.headerStorePending(b.addr) {
-					m.stats.OrderDelays++
-					continue
-				}
-				if !m.bankReady(b.addr, true) {
-					continue
-				}
-				b.accepted = true
-				b.doneAt = m.cycle + m.lat
-			} else {
-				q := &m.storeQ[ci][storeIdx(p)]
-				if len(*q) == 0 {
-					continue
-				}
-				s := (*q)[0]
-				if p == HeaderStore && m.headerStoreOrderedBefore(s.addr, s.seq) {
-					m.stats.OrderDelays++
-					continue
-				}
-				if !m.bankReady(s.addr, true) {
-					continue
-				}
-				*q = (*q)[1:]
-				m.inflight = append(m.inflight, inflightStore{
-					addr:   s.addr,
-					data:   s.data,
-					header: p.IsHeader(),
-					doneAt: m.cycle + m.lat,
-				})
+	// Visit waiting cores in round-robin order starting at rr — the ranges
+	// [rr, n) then [0, rr) — jumping between set bits of waitMask rather
+	// than scanning every core.
+	for pass := 0; pass < 2 && budget > 0 && m.unaccepted > 0; pass++ {
+		lo, hi := m.rr, n
+		if pass == 1 {
+			lo, hi = 0, m.rr
+		}
+		for wi := lo >> 6; wi<<6 < hi && budget > 0 && m.unaccepted > 0; wi++ {
+			word := m.waitMask[wi]
+			if base := wi << 6; base < lo {
+				word &= ^uint64(0) << (lo - base)
 			}
-			m.stats.Accepted[p]++
-			budget--
-			anyAccepted = true
+			if rem := hi - wi<<6; rem < 64 {
+				word &= 1<<rem - 1
+			}
+			for word != 0 && budget > 0 && m.unaccepted > 0 {
+				ci := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if m.acceptCore(ci, &budget) {
+					anyAccepted = true
+				}
+			}
 		}
 	}
-	m.rr = (m.rr + 1) % n
 	if anyAccepted {
 		m.stats.BusyCycles++
 	}
 	if budget == 0 {
 		m.stats.SaturatedCyc++
-		if m.anyWaiting() {
+		if m.unaccepted > 0 {
 			m.stats.RejectedByBW++
 		}
 	}
 }
 
-// anyWaiting reports whether some issued request is still unaccepted.
-func (m *Memory) anyWaiting() bool {
-	for i := range m.bufs {
-		if len(m.storeQ[i][0]) > 0 || len(m.storeQ[i][1]) > 0 {
-			return true
-		}
-		for _, p := range [2]Port{HeaderLoad, BodyLoad} {
-			b := &m.bufs[i][p]
-			if b.valid && !b.accepted && !b.ready {
-				return true
+// acceptCore tries to accept core ci's waiting requests, ports in fixed
+// order, decrementing *budget per acceptance. It reports whether anything was
+// accepted.
+func (m *Memory) acceptCore(ci int, budget *int) bool {
+	accepted := false
+	// Jump between waiting ports; ascending bit order is the fixed port
+	// priority. The local copy also skips requests whose bit is cleared
+	// mid-loop (each port is attempted at most once per cycle either way).
+	for w := m.waiting[ci]; w != 0 && *budget > 0; w &= w - 1 {
+		p := Port(bits.TrailingZeros8(w))
+		if p.IsLoad() {
+			b := &m.bufs[ci][p]
+			if p == HeaderLoad && m.headerStorePending(b.addr) {
+				m.stats.OrderDelays++
+				continue
 			}
+			if !m.bankReady(b.addr, true) {
+				continue
+			}
+			b.accepted = true
+			b.doneAt = m.cycle + m.lat
+			m.unaccepted--
+			m.acceptedLoads++
+			m.clearWaiting(ci, p)
+			m.completions.push(b.doneAt<<16 | int64(ci)<<1 | int64(p>>1)) // HeaderLoad=0, BodyLoad=1
+		} else {
+			q := &m.storeQ[ci][storeIdx(p)]
+			s := q.front()
+			if p == HeaderStore && m.headerStoreOrderedBefore(s.addr, s.seq) {
+				m.stats.OrderDelays++
+				continue
+			}
+			if !m.bankReady(s.addr, true) {
+				continue
+			}
+			m.inflight = append(m.inflight, inflightStore{
+				addr:   s.addr,
+				data:   s.data,
+				header: p.IsHeader(),
+				doneAt: m.cycle + m.lat,
+			})
+			if p == HeaderStore {
+				// The queued store becomes an accepted, uncommitted one.
+				m.hdrCnt[s.addr] += hdrCntInflightOne - hdrCntQueuedOne
+			}
+			q.pop()
+			if q.n == 0 {
+				m.clearWaiting(ci, p)
+			}
+			m.unaccepted--
+			m.storeQueued--
 		}
+		m.stats.Accepted[p]++
+		*budget--
+		accepted = true
 	}
-	return false
+	return accepted
+}
+
+// clearWaiting clears core ci's waiting bit for port p, dropping the core
+// from waitMask when nothing else is waiting on it.
+func (m *Memory) clearWaiting(ci int, p Port) {
+	if m.waiting[ci] &= ^(uint8(1) << p); m.waiting[ci] == 0 {
+		m.waitMask[ci>>6] &^= 1 << (ci & 63)
+	}
+}
+
+// Quiescent reports whether no issued request is still awaiting acceptance
+// by the controller. While quiescent, a Tick accepts nothing and changes no
+// statistic — the precondition for fast-forwarding over it.
+func (m *Memory) Quiescent() bool { return m.unaccepted == 0 }
+
+// LastInflightDoneAt returns the commit cycle of the last in-flight store —
+// the cycle at which the scheduler drains, provided nothing new is issued —
+// or 0 when no store is in flight.
+func (m *Memory) LastInflightDoneAt() int64 {
+	if m.inflightHead == len(m.inflight) {
+		return 0
+	}
+	return m.inflight[len(m.inflight)-1].doneAt
+}
+
+// FastForwardBy advances the scheduler delta cycles in one jump, applying
+// exactly the cumulative effect the skipped Ticks would have had: the clock
+// and the round-robin arbitration pointer advance, due stores commit (in
+// order, before any load capture), and due loads complete. The caller must
+// ensure the scheduler is Quiescent — with nothing awaiting acceptance, the
+// skipped ticks perform no arbitration and touch no counter, so the
+// statistics of a fast-forwarded run are bit-identical to the stepped run.
+func (m *Memory) FastForwardBy(delta int64) {
+	if delta <= 0 {
+		return
+	}
+	m.cycle += delta
+	if n := len(m.bufs); n > 0 {
+		m.rr = int((int64(m.rr) + delta) % int64(n))
+	}
+	m.commitDue()
+	m.completeDue()
 }
 
 // Drained reports whether every buffer and store queue is empty and every
 // accepted store has committed. The coprocessor flushes all buffers at the
 // end of a collection cycle before the main processor is restarted.
 func (m *Memory) Drained() bool {
-	if len(m.inflight) > 0 {
-		return false
-	}
-	for i := range m.bufs {
-		if len(m.storeQ[i][0]) > 0 || len(m.storeQ[i][1]) > 0 {
-			return false
-		}
-		for p := range m.bufs[i] {
-			if m.bufs[i][p].valid {
-				return false
-			}
-		}
-	}
-	return true
+	return m.inflightHead == len(m.inflight) && m.storeQueued == 0 && m.validLoads == 0
 }

@@ -61,7 +61,9 @@ type SB struct {
 	freeOwner int
 	headerReg []object.Addr // per core; NilPtr = unlocked
 	busy      []bool
-	barriers  map[int][]bool
+	busyCount int      // number of set busy bits, maintained incrementally
+	barriers  [][]bool // arrival bits, indexed by barrier id
+	arrived   []int    // arrival count per barrier id (len == len(barriers))
 	stats     Stats
 }
 
@@ -73,7 +75,6 @@ func New(n int) *SB {
 	sb := &SB{n: n}
 	sb.headerReg = make([]object.Addr, n)
 	sb.busy = make([]bool, n)
-	sb.barriers = make(map[int][]bool)
 	sb.scanOwner = noOwner
 	sb.freeOwner = noOwner
 	return sb
@@ -93,7 +94,13 @@ func (s *SB) Reset(scan, free object.Addr) {
 		s.headerReg[i] = object.NilPtr
 		s.busy[i] = false
 	}
-	s.barriers = make(map[int][]bool)
+	s.busyCount = 0
+	for id, arr := range s.barriers {
+		for i := range arr {
+			arr[i] = false
+		}
+		s.arrived[id] = 0
+	}
 	s.stats = Stats{}
 }
 
@@ -208,7 +215,16 @@ func (s *SB) UnlockHeader(core int) {
 func (s *SB) HeaderLockOf(core int) object.Addr { return s.headerReg[core] }
 
 // SetBusy sets or clears core's busy bit in the ScanState register.
-func (s *SB) SetBusy(core int, b bool) { s.busy[core] = b }
+func (s *SB) SetBusy(core int, b bool) {
+	if s.busy[core] != b {
+		s.busy[core] = b
+		if b {
+			s.busyCount++
+		} else {
+			s.busyCount--
+		}
+	}
+}
 
 // Busy reports core's busy bit.
 func (s *SB) Busy(core int) bool { return s.busy[core] }
@@ -217,32 +233,57 @@ func (s *SB) Busy(core int) bool { return s.busy[core] }
 // with scan == free this is the algorithm's termination condition; because
 // cores are stepped one at a time, the combined check is atomic, exactly as
 // the SB hardware performs it.
-func (s *SB) AllIdle() bool {
-	for _, b := range s.busy {
-		if b {
-			return false
-		}
-	}
-	return true
-}
+func (s *SB) AllIdle() bool { return s.busyCount == 0 }
 
 // Barrier registers core's arrival at the synchronizing micro-instruction
 // identified by id and reports whether all cores have arrived. Cores poll it
 // every cycle until it reports true. Each id is used for one barrier per
 // collection cycle.
 func (s *SB) Barrier(id, core int) bool {
-	arr, ok := s.barriers[id]
-	if !ok {
-		arr = make([]bool, s.n)
-		s.barriers[id] = arr
+	for id >= len(s.barriers) {
+		s.barriers = append(s.barriers, nil)
+		s.arrived = append(s.arrived, 0)
 	}
-	arr[core] = true
-	for _, a := range arr {
-		if !a {
-			return false
+	if s.barriers[id] == nil {
+		s.barriers[id] = make([]bool, s.n)
+	}
+	if arr := s.barriers[id]; !arr[core] {
+		arr[core] = true
+		s.arrived[id]++
+	}
+	return s.arrived[id] == s.n
+}
+
+// BarrierComplete reports whether every core has already arrived at barrier
+// id, without registering an arrival. The machine's fast-forward uses it to
+// prove that a core blocked at a synchronizing micro-instruction cannot be
+// released this cycle.
+func (s *SB) BarrierComplete(id int) bool {
+	return id < len(s.arrived) && s.arrived[id] == s.n
+}
+
+// HeaderLockConflict reports whether a core other than core currently holds
+// addr in its header-lock register — i.e. whether TryLockHeader(core, addr)
+// would stall. The fast-forward path uses it to classify a core as dead in
+// the header-lock state.
+func (s *SB) HeaderLockConflict(core int, addr object.Addr) bool {
+	for i, r := range s.headerReg {
+		if i != core && r == addr {
+			return true
 		}
 	}
-	return true
+	return false
+}
+
+// AddConflictStalls accumulates failed-acquisition counters arithmetically
+// on behalf of the machine's fast-forward: a core spinning on a held lock
+// would have retried (and failed) the acquisition once per skipped cycle, so
+// the skipped retries are added in bulk to keep Stats bit-identical to the
+// stepped run.
+func (s *SB) AddConflictStalls(scan, free, header int64) {
+	s.stats.ScanConflicts += scan
+	s.stats.FreeConflicts += free
+	s.stats.HeaderConflicts += header
 }
 
 // CheckLockOrder validates the fixed lock-ordering scheme scan < header <
