@@ -4,11 +4,16 @@
 //
 // Record a baseline:
 //
-//	go test -run '^$' -bench 'Fig6' -benchtime 2x . | go run ./cmd/benchdiff -record -out BENCH_3.json
+//	go test -run '^$' -bench 'Fig6' -benchtime 2x . | go run ./cmd/benchdiff -record -out BENCH_4.json
+//
+// Regenerate only the benchmarks that were re-run, keeping the rest of the
+// committed baseline (and its note) intact:
+//
+//	go test -run '^$' -bench 'Snapshot' -benchtime 2x . | go run ./cmd/benchdiff -update -out BENCH_4.json
 //
 // Compare a fresh run against it:
 //
-//	go test -run '^$' -bench 'Fig6' -benchtime 2x . | go run ./cmd/benchdiff -baseline BENCH_3.json
+//	go test -run '^$' -bench 'Fig6' -benchtime 2x . | go run ./cmd/benchdiff -baseline BENCH_4.json
 //
 // The comparison fails (exit 1) when
 //
@@ -102,6 +107,37 @@ func parseBench(r io.Reader) ([]Benchmark, error) {
 	return out, nil
 }
 
+// merge folds fresh results into an existing baseline: benchmarks present
+// in fresh replace their baseline entries (or are appended, sorted among the
+// newcomers), benchmarks absent from fresh are kept, and the note is
+// preserved unless a new one is given. This is what -update uses to
+// regenerate part of a committed baseline from a partial bench run.
+func merge(base Baseline, fresh []Benchmark, note string) Baseline {
+	freshBy := map[string]Benchmark{}
+	for _, b := range fresh {
+		freshBy[b.Name] = b
+	}
+	out := Baseline{Note: base.Note, Benchmarks: make([]Benchmark, 0, len(base.Benchmarks)+len(fresh))}
+	if note != "" {
+		out.Note = note
+	}
+	for _, old := range base.Benchmarks {
+		if nw, ok := freshBy[old.Name]; ok {
+			out.Benchmarks = append(out.Benchmarks, nw)
+			delete(freshBy, old.Name)
+		} else {
+			out.Benchmarks = append(out.Benchmarks, old)
+		}
+	}
+	added := make([]Benchmark, 0, len(freshBy))
+	for _, b := range freshBy {
+		added = append(added, b)
+	}
+	sort.Slice(added, func(i, j int) bool { return added[i].Name < added[j].Name })
+	out.Benchmarks = append(out.Benchmarks, added...)
+	return out
+}
+
 // compare checks fresh results against the baseline and writes a report to
 // w. It returns an error describing the first gate that failed, or nil.
 func compare(base Baseline, fresh []Benchmark, threshold float64, exact []string, w io.Writer) error {
@@ -169,7 +205,8 @@ func compare(base Baseline, fresh []Benchmark, threshold float64, exact []string
 
 func main() {
 	record := flag.Bool("record", false, "record a new baseline instead of comparing")
-	out := flag.String("out", "BENCH_3.json", "baseline file to write with -record")
+	update := flag.Bool("update", false, "merge this run into the baseline at -out, keeping benchmarks that were not re-run")
+	out := flag.String("out", "BENCH_4.json", "baseline file to write with -record or -update")
 	baselinePath := flag.String("baseline", "", "baseline file to compare against")
 	threshold := flag.Float64("threshold", 1.10, "maximum allowed geomean ns/op ratio (new/old)")
 	exactList := flag.String("exact", "gc-clock-cycles", "comma-separated metrics that must match exactly")
@@ -182,8 +219,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *record {
+	if *record || *update {
 		base := Baseline{Note: *note, Benchmarks: results}
+		if *update {
+			raw, err := os.ReadFile(*out)
+			if err != nil && !os.IsNotExist(err) {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			var prev Baseline
+			if err == nil {
+				if err := json.Unmarshal(raw, &prev); err != nil {
+					fmt.Fprintf(os.Stderr, "benchdiff: bad baseline %s: %v\n", *out, err)
+					os.Exit(2)
+				}
+			}
+			base = merge(prev, results, *note)
+		}
 		buf, err := json.MarshalIndent(base, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -193,7 +245,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		fmt.Printf("recorded %d benchmarks to %s\n", len(results), *out)
+		fmt.Printf("recorded %d benchmarks to %s\n", len(base.Benchmarks), *out)
 		return
 	}
 

@@ -92,3 +92,40 @@ func TestCompareMissingBenchmark(t *testing.T) {
 		t.Fatalf("a silently skipped benchmark must fail the gate, got %v", err)
 	}
 }
+
+func TestMergeUpdatesBaseline(t *testing.T) {
+	base := Baseline{
+		Note: "original note",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA", NsPerOp: 100, Metrics: map[string]float64{"gc-clock-cycles": 10}},
+			{Name: "BenchmarkB", NsPerOp: 200},
+			{Name: "BenchmarkC", NsPerOp: 300},
+		},
+	}
+	fresh := []Benchmark{
+		{Name: "BenchmarkB", NsPerOp: 250}, // replaces in place
+		{Name: "BenchmarkZ", NsPerOp: 50},  // appended, sorted
+		{Name: "BenchmarkD", NsPerOp: 75},  // appended, sorted
+	}
+	got := merge(base, fresh, "")
+	if got.Note != "original note" {
+		t.Errorf("note not preserved: %q", got.Note)
+	}
+	names := make([]string, len(got.Benchmarks))
+	for i, b := range got.Benchmarks {
+		names[i] = b.Name
+	}
+	want := []string{"BenchmarkA", "BenchmarkB", "BenchmarkC", "BenchmarkD", "BenchmarkZ"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("merged order %v, want %v", names, want)
+	}
+	if got.Benchmarks[1].NsPerOp != 250 {
+		t.Errorf("BenchmarkB not replaced: %+v", got.Benchmarks[1])
+	}
+	if got.Benchmarks[0].Metrics["gc-clock-cycles"] != 10 {
+		t.Errorf("untouched benchmark lost metrics: %+v", got.Benchmarks[0])
+	}
+	if n := merge(base, fresh, "new note"); n.Note != "new note" {
+		t.Errorf("explicit note not applied: %q", n.Note)
+	}
+}

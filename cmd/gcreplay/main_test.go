@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hwgc"
+)
+
+func TestRecordResumeDiff(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := cmdRecord([]string{"-bench", "jlisp", "-cores", "4", "-every", "500", "-out", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "recorded jlisp:") {
+		t.Fatalf("record output: %s", out.String())
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no checkpoints written (err=%v)", err)
+	}
+
+	// Resuming any checkpoint must land on the uninterrupted cycle count.
+	h, err := hwgc.BuildWorkload("jlisp", 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := hwgc.Collect(h, hwgc.Config{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, snap := range snaps {
+		out.Reset()
+		if err := cmdResume([]string{"-snap", snap}, &out); err != nil {
+			t.Fatalf("resume %s: %v", snap, err)
+		}
+		if !strings.Contains(out.String(), "finished at cycle "+strconv.FormatInt(want.Cycles, 10)) {
+			t.Errorf("resume %s: output %q does not mention cycle %d", snap, out.String(), want.Cycles)
+		}
+	}
+
+	// diff: a snapshot against itself is identical, two different checkpoints
+	// differ (non-nil error) and report at least the cycle counter.
+	out.Reset()
+	if err := cmdDiff([]string{snaps[0], snaps[0]}, &out); err != nil {
+		t.Fatalf("self-diff: %v", err)
+	}
+	if !strings.Contains(out.String(), "identical") {
+		t.Fatalf("self-diff output: %s", out.String())
+	}
+	if len(snaps) > 1 {
+		out.Reset()
+		if err := cmdDiff([]string{snaps[0], snaps[len(snaps)-1]}, &out); err == nil {
+			t.Fatal("diff of different checkpoints reported no difference")
+		}
+		if !strings.Contains(out.String(), "!=") {
+			t.Fatalf("diff output has no field differences: %s", out.String())
+		}
+	}
+}
+
+// TestBisectInjectedDivergence is the acceptance test for bisect: inject a
+// single-bit heap corruption into run B at a known cycle and check that the
+// binary search pinpoints exactly that cycle.
+func TestBisectInjectedDivergence(t *testing.T) {
+	spec := runSpec{bench: "jlisp", scale: 1, seed: 42, cfg: hwgc.Config{Cores: 4}, injectAddr: -1}
+	// Corrupt a word at the very top of to-space: with 2x headroom the
+	// evacuation never reaches it, so the flipped bit perturbs exactly the
+	// heap image from the injection cycle onward without sending the
+	// simulation off into the weeds.
+	h, err := hwgc.BuildWorkload("jlisp", 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := int64(len(h.Mem())) - 2
+	for _, injectCycle := range []int64{1, 137, 600} {
+		b := spec
+		b.injectAddr = addr
+		b.injectCycle = injectCycle
+		cycle, diff, sa, sb, err := bisect(spec, b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cycle != injectCycle {
+			t.Errorf("inject at %d: bisect reported first divergent cycle %d", injectCycle, cycle)
+		}
+		if len(diff) == 0 || sa == nil || sb == nil {
+			t.Errorf("inject at %d: no field diff returned", injectCycle)
+		}
+	}
+}
+
+// TestBisectIdenticalRuns checks the no-divergence verdict.
+func TestBisectIdenticalRuns(t *testing.T) {
+	spec := runSpec{bench: "jlisp", scale: 1, seed: 42, cfg: hwgc.Config{Cores: 2}, injectAddr: -1}
+	cycle, _, _, _, err := bisect(spec, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycle != -1 {
+		t.Fatalf("identical runs: bisect reported divergence at cycle %d", cycle)
+	}
+}
+
+// TestBisectConfigDivergence bisects two genuinely different configurations;
+// the exact cycle depends on the configs, but it must be positive, stable,
+// and the diff must not mention Config (which is ignored).
+func TestBisectConfigDivergence(t *testing.T) {
+	a := runSpec{bench: "jlisp", scale: 1, seed: 42, cfg: hwgc.Config{Cores: 4}, injectAddr: -1}
+	b := a
+	b.cfg.ExtraMemLatency = 20
+	var out bytes.Buffer
+	err := cmdBisect([]string{
+		"-bench", "jlisp", "-scale", "1", "-seed", "42",
+		"-config-a", `{"Cores":4}`,
+		"-config-b", `{"Cores":4,"ExtraMemLatency":20}`,
+		"-dump-dir", t.TempDir(),
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "first divergent cycle:") {
+		t.Fatalf("bisect output: %s", s)
+	}
+	if strings.Contains(s, "  Config") {
+		t.Fatalf("diff should ignore Config: %s", s)
+	}
+	if !strings.Contains(s, "divergent pair written to") {
+		t.Fatalf("missing dump confirmation: %s", s)
+	}
+
+	cycle, _, _, _, err := bisect(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle2, _, _, _, err := bisect(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycle != cycle2 || cycle <= 0 {
+		t.Fatalf("bisect unstable or nonpositive: %d vs %d", cycle, cycle2)
+	}
+}
+
+func TestBisectInjectAddrOutOfRange(t *testing.T) {
+	b := runSpec{bench: "jlisp", scale: 1, seed: 42, cfg: hwgc.Config{Cores: 2}, injectAddr: 1 << 40, injectCycle: 1}
+	a := b
+	a.injectAddr = -1
+	if _, _, _, _, err := bisect(a, b, nil); err == nil {
+		t.Fatal("out-of-range inject address should fail")
+	}
+}
+
+func TestCmdDirectErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := cmdResume([]string{}, &out); err == nil {
+		t.Error("resume without -snap should fail")
+	}
+	if err := cmdDiff([]string{"only-one"}, &out); err == nil {
+		t.Error("diff with one arg should fail")
+	}
+	if err := cmdRecord([]string{"-every", "0", "-out", t.TempDir()}, &out); err == nil {
+		t.Error("record with -every 0 should fail")
+	}
+	if err := cmdBisect([]string{"-inject", "nonsense"}, &out); err == nil {
+		t.Error("malformed -inject should fail")
+	}
+}

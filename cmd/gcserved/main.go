@@ -2,12 +2,17 @@
 // pool over a bounded job queue with 429 backpressure, a content-addressed
 // LRU result cache (simulations are deterministic, so hits are
 // byte-identical), per-request deadlines, Prometheus-format metrics and
-// graceful shutdown that drains admitted jobs.
+// graceful shutdown that drains admitted jobs. With -checkpoint-dir set,
+// long collections checkpoint their simulator state every -checkpoint-cycles
+// clock cycles: shutdown preempts in-flight jobs at a snapshot boundary
+// instead of waiting them out, and a restarted server resumes them from disk
+// with byte-identical results.
 //
 // Usage:
 //
 //	gcserved [-addr :8080] [-workers N] [-queue 64] [-cache-entries 1024]
 //	         [-cache-mb 64] [-timeout 60s] [-max-scale 64] [-retry-after 1s]
+//	         [-checkpoint-dir DIR] [-checkpoint-cycles 200000]
 //
 // Endpoints:
 //
@@ -60,6 +65,8 @@ func parseOptions(args []string) (addr string, opts server.Options, drain time.D
 		maxScale     = fs.Int("max-scale", 64, "largest accepted workload scale (-1 = unlimited)")
 		retryAfter   = fs.Duration("retry-after", time.Second, "Retry-After hint on 429 responses (rounded up to whole seconds)")
 		drainFlag    = fs.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+		ckptDir      = fs.String("checkpoint-dir", "", "directory for simulation checkpoints; enables preempt-on-shutdown and crash recovery")
+		ckptCycles   = fs.Int64("checkpoint-cycles", 0, "clock cycles between checkpoints (0 = default 200000)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return "", server.Options{}, 0, err
@@ -70,14 +77,27 @@ func parseOptions(args []string) (addr string, opts server.Options, drain time.D
 	if *retryAfter <= 0 {
 		return "", server.Options{}, 0, fmt.Errorf("-retry-after must be positive, got %s", *retryAfter)
 	}
+	if *ckptCycles < 0 {
+		return "", server.Options{}, 0, fmt.Errorf("-checkpoint-cycles must be nonnegative, got %d", *ckptCycles)
+	}
+	if *ckptCycles > 0 && *ckptDir == "" {
+		return "", server.Options{}, 0, fmt.Errorf("-checkpoint-cycles requires -checkpoint-dir")
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return "", server.Options{}, 0, fmt.Errorf("-checkpoint-dir: %v", err)
+		}
+	}
 	return *addrFlag, server.Options{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cacheEntries,
-		CacheBytes:   *cacheMB << 20,
-		Timeout:      *timeout,
-		MaxScale:     *maxScale,
-		RetryAfter:   *retryAfter,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cacheEntries,
+		CacheBytes:       *cacheMB << 20,
+		Timeout:          *timeout,
+		MaxScale:         *maxScale,
+		RetryAfter:       *retryAfter,
+		CheckpointDir:    *ckptDir,
+		CheckpointCycles: *ckptCycles,
 	}, *drainFlag, nil
 }
 
@@ -107,11 +127,16 @@ func run(addr string, opts server.Options, drain time.Duration) error {
 	log.Printf("gcserved: shutting down, draining for up to %s", drain)
 	dctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
-	if err := hs.Shutdown(dctx); err != nil {
-		log.Printf("gcserved: http shutdown: %v", err)
-	}
+	// Drain the serving layer before the HTTP layer: handlers of in-flight
+	// jobs only unblock once the pool drains (checkpointed jobs preempt at
+	// their next snapshot boundary when draining begins), and hs.Shutdown
+	// waits for those very handlers — the reverse order deadlocks until the
+	// drain deadline. New requests keep getting clean 503s meanwhile.
 	if err := srv.Shutdown(dctx); err != nil {
 		return err
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Printf("gcserved: http shutdown: %v", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -91,6 +92,26 @@ func TestParseOptionsErrors(t *testing.T) {
 	}
 	if _, _, _, err := parseOptions([]string{"-no-such-flag"}); err == nil {
 		t.Error("unknown flag accepted")
+	}
+	if _, _, _, err := parseOptions([]string{"-checkpoint-cycles", "-1"}); err == nil {
+		t.Error("negative -checkpoint-cycles accepted")
+	}
+	if _, _, _, err := parseOptions([]string{"-checkpoint-cycles", "100"}); err == nil {
+		t.Error("-checkpoint-cycles without -checkpoint-dir accepted")
+	}
+}
+
+func TestParseOptionsCheckpointFlags(t *testing.T) {
+	dir := t.TempDir() + "/ckpts"
+	_, opts, _, err := parseOptions([]string{"-checkpoint-dir", dir, "-checkpoint-cycles", "5000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.CheckpointDir != dir || opts.CheckpointCycles != 5000 {
+		t.Errorf("checkpoint options not wired: %+v", opts)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		t.Errorf("checkpoint dir not created: %v", err)
 	}
 }
 

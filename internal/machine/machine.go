@@ -40,6 +40,15 @@ type Machine struct {
 	emptyObserved bool // some core sought work this cycle and found scan == free
 	err           error
 
+	// Cycle-loop state, held on the Machine (rather than as locals of
+	// Collect) so a collection can be suspended between cycles, captured by
+	// Snapshot and resumed bit-identically (see snapshot.go).
+	phase       collectPhase
+	maxCycles   int64 // livelock bound, fixed by BeginCollect
+	scanStart   int64 // first cycle after root evacuation, -1 until known
+	scanEnd     int64 // cycle every core detected termination, -1 until known
+	emptyCycles int64 // accumulated empty-work-list cycles
+
 	// Event-driven fast-forward state (see fastforward.go).
 	ffKinds   []ffStall // per-core scratch, reused every dead cycle
 	ffJumps   int64
@@ -52,7 +61,14 @@ type Machine struct {
 
 	// Probe, when non-nil, is invoked after every simulated clock cycle;
 	// the monitoring framework (internal/trace) uses it to sample signals.
+	// Probe is the original single-slot hook, kept working for existing
+	// callers; new code should prefer AddProbe, which multiplexes any number
+	// of observers. When both are set, Probe fires before the AddProbe list.
 	Probe func(cycle int64, m *Machine)
+
+	// probes holds the observers registered via AddProbe, invoked in
+	// registration order after every cycle (after the legacy Probe).
+	probes []func(cycle int64, m *Machine)
 
 	// NoFastForward forces per-cycle stepping even when no Probe is
 	// attached. The determinism suite uses it to check that fast-forwarded
@@ -115,11 +131,74 @@ func (m *Machine) failf(format string, args ...any) {
 	}
 }
 
+// collectPhase tracks where a Machine is in the Begin/Step/Finish life
+// cycle of one collection.
+type collectPhase int
+
+const (
+	phaseIdle    collectPhase = iota // no collection in progress
+	phaseRunning                     // between BeginCollect and termination
+	phaseDone                        // terminated, awaiting FinishCollect
+)
+
+// AddProbe registers an additional per-cycle observer, invoked after every
+// simulated clock cycle in registration order (after the legacy Probe
+// field, if set). Like Probe, any registered observer forces full per-cycle
+// stepping — fast-forward and micro-sleep are disabled so every cycle is
+// observable. Probes registered mid-collection take effect from the next
+// cycle; they are not captured by Snapshot.
+func (m *Machine) AddProbe(p func(cycle int64, m *Machine)) {
+	if p == nil {
+		return
+	}
+	m.probes = append(m.probes, p)
+	m.microSleep = false
+}
+
+// ClearProbes removes every observer registered with AddProbe (the legacy
+// Probe field is untouched).
+func (m *Machine) ClearProbes() { m.probes = nil }
+
+// probing reports whether any per-cycle observer is attached.
+func (m *Machine) probing() bool { return m.Probe != nil || len(m.probes) > 0 }
+
+// fireProbes invokes the legacy Probe and then the AddProbe observers.
+func (m *Machine) fireProbes() {
+	if m.Probe != nil {
+		m.Probe(m.cycle, m)
+	}
+	for _, p := range m.probes {
+		p(m.cycle, m)
+	}
+}
+
 // Collect runs one complete garbage collection cycle and returns its
 // statistics. On success the heap has been flipped: the surviving objects
 // sit compacted at the bottom of the new current space and the roots point
 // at them.
+//
+// Collect is BeginCollect + StepCycle-until-done + FinishCollect; callers
+// that need to suspend a collection (checkpointing, replay) drive those
+// phases directly.
 func (m *Machine) Collect() (Stats, error) {
+	m.BeginCollect()
+	for {
+		done, err := m.StepCycle()
+		if err != nil {
+			return Stats{}, err
+		}
+		if done {
+			break
+		}
+	}
+	return m.FinishCollect()
+}
+
+// BeginCollect resets the machine and starts a new collection cycle. Any
+// previous collection state (including a failed one) is discarded. After
+// BeginCollect the machine is mid-collection: drive it with StepCycle /
+// StepCycles and call FinishCollect once a step reports done.
+func (m *Machine) BeginCollect() {
 	h := m.heap
 	to := h.OtherSpace()
 	base := h.Base(to)
@@ -167,68 +246,115 @@ func (m *Machine) Collect() (Stats, error) {
 	m.doneCount = 0
 	m.ffJumps = 0
 	m.ffSkipped = 0
-	m.microSleep = m.Probe == nil && !m.NoFastForward && m.mut == nil
+	m.microSleep = !m.probing() && !m.NoFastForward && m.mut == nil
 
-	maxCycles := m.cfg.MaxCycles
-	if maxCycles <= 0 {
+	m.maxCycles = m.cfg.MaxCycles
+	if m.maxCycles <= 0 {
 		// Generous livelock guard: even fully serialized, a collection
 		// processes at most one word per a few dozen cycles.
-		maxCycles = 1_000_000 + 200*int64(h.SemiWords())
+		m.maxCycles = 1_000_000 + 200*int64(h.SemiWords())
+	}
+	m.scanStart = -1
+	m.scanEnd = -1
+	m.emptyCycles = 0
+	m.phase = phaseRunning
+}
+
+// StepCycle advances the collection by one simulated clock cycle (or, with
+// fast-forward enabled, by one provably-dead stretch of cycles). It reports
+// done once the collection has terminated; the caller then obtains the
+// statistics from FinishCollect. Between StepCycle calls the machine state
+// is self-contained, which is the boundary Snapshot captures.
+func (m *Machine) StepCycle() (done bool, err error) {
+	switch m.phase {
+	case phaseIdle:
+		return false, fmt.Errorf("machine: StepCycle without BeginCollect")
+	case phaseDone:
+		return true, nil
+	}
+	if m.err != nil {
+		return false, m.err
 	}
 
-	var scanStart int64 = -1
-	var emptyCycles int64
-	var scanEnd int64 = -1
+	m.cycle++
+	if m.cycle > m.maxCycles {
+		m.failf("machine: collection exceeded %d cycles (livelock?)", m.maxCycles)
+		return false, m.err
+	}
+	m.emptyObserved = false
+	// The mutator port steps before the GC cores so that any frame it
+	// publishes this cycle is visible to the termination check, and it
+	// only starts once Core 1 has forwarded the roots (the brief
+	// stop-the-world window at the start of the cycle).
+	if m.mut != nil && m.mutStarted {
+		m.mut.step(m.scanEnd >= 0)
+		if m.err != nil {
+			return false, m.err
+		}
+	}
+	cores := m.coreBuf
+	for i := range cores {
+		if c := &cores[i]; c.sleepUntil <= m.cycle {
+			c.step()
+		}
+		// else load-waiting: stalls pre-added by stallOnLoad.
+	}
+	if m.err != nil {
+		return false, m.err
+	}
+	if m.scanStart < 0 && !m.cores[0].inRoots && m.cores[0].st != sStartup && m.cores[0].st != sRoots {
+		m.scanStart = m.cycle
+		m.mutStarted = true
+	}
+	if m.scanEnd < 0 && m.emptyObserved {
+		m.emptyCycles++
+	}
+	m.mem.Tick()
 
-	cores := m.coreBuf // stable for the whole collection
-	for {
-		m.cycle++
-		if m.cycle > maxCycles {
-			return Stats{}, fmt.Errorf("machine: collection exceeded %d cycles (livelock?)", maxCycles)
+	if m.scanEnd < 0 && m.allDone() {
+		m.scanEnd = m.cycle
+	}
+	if m.scanEnd >= 0 && m.mem.Drained() && (m.mut == nil || m.mut.idle()) {
+		m.phase = phaseDone
+		return true, nil
+	}
+	if m.probing() {
+		// Monitoring samples signals on every cycle, so tracing forces
+		// full per-cycle stepping (no fast-forward).
+		m.fireProbes()
+	} else if !m.NoFastForward && m.mut == nil {
+		m.fastForward(m.maxCycles, m.scanEnd, &m.emptyCycles)
+	}
+	return false, nil
+}
+
+// StepCycles advances the collection until at least n more clock cycles
+// have elapsed (fast-forward jumps may overshoot), the collection
+// terminates, or an error occurs.
+func (m *Machine) StepCycles(n int64) (done bool, err error) {
+	target := m.cycle + n
+	for m.cycle < target {
+		done, err = m.StepCycle()
+		if done || err != nil {
+			return done, err
 		}
-		m.emptyObserved = false
-		// The mutator port steps before the GC cores so that any frame it
-		// publishes this cycle is visible to the termination check, and it
-		// only starts once Core 1 has forwarded the roots (the brief
-		// stop-the-world window at the start of the cycle).
-		if m.mut != nil && m.mutStarted {
-			m.mut.step(scanEnd >= 0)
-			if m.err != nil {
-				return Stats{}, m.err
-			}
-		}
-		for i := range cores {
-			if c := &cores[i]; c.sleepUntil <= m.cycle {
-				c.step()
-			}
-			// else load-waiting: stalls pre-added by stallOnLoad.
-		}
+	}
+	return false, nil
+}
+
+// FinishCollect completes a terminated collection: it validates the final
+// free pointer, flips the heap, and returns the collection statistics.
+func (m *Machine) FinishCollect() (Stats, error) {
+	if m.phase != phaseDone {
 		if m.err != nil {
 			return Stats{}, m.err
 		}
-		if scanStart < 0 && !m.cores[0].inRoots && m.cores[0].st != sStartup && m.cores[0].st != sRoots {
-			scanStart = m.cycle
-			m.mutStarted = true
-		}
-		if scanEnd < 0 && m.emptyObserved {
-			emptyCycles++
-		}
-		m.mem.Tick()
-
-		if scanEnd < 0 && m.allDone() {
-			scanEnd = m.cycle
-		}
-		if scanEnd >= 0 && m.mem.Drained() && (m.mut == nil || m.mut.idle()) {
-			break
-		}
-		if m.Probe != nil {
-			// Monitoring samples signals on every cycle, so tracing forces
-			// full per-cycle stepping (no fast-forward).
-			m.Probe(m.cycle, m)
-		} else if !m.NoFastForward && m.mut == nil {
-			m.fastForward(maxCycles, scanEnd, &emptyCycles)
-		}
+		return Stats{}, fmt.Errorf("machine: FinishCollect before the collection terminated")
 	}
+	h := m.heap
+	to := h.OtherSpace()
+	base := h.Base(to)
+	limit := h.Limit(to)
 
 	finalFree := m.sb.Free()
 	if finalFree > limit {
@@ -237,7 +363,7 @@ func (m *Machine) Collect() (Stats, error) {
 
 	st := Stats{
 		Cycles:              m.cycle + m.cfg.ShutdownCycles,
-		EmptyWorklistCycles: emptyCycles,
+		EmptyWorklistCycles: m.emptyCycles,
 		PerCore:             make([]CoreStats, m.cfg.Cores),
 		FIFODrops:           m.fifoDrops,
 		FIFOMaxDepth:        m.fifo.maxDepth,
@@ -249,8 +375,8 @@ func (m *Machine) Collect() (Stats, error) {
 		Sync:                m.sb.Stats(),
 		Config:              m.cfg,
 	}
-	if scanStart >= 0 && scanEnd >= scanStart {
-		st.ScanCycles = scanEnd - scanStart
+	if m.scanStart >= 0 && m.scanEnd >= m.scanStart {
+		st.ScanCycles = m.scanEnd - m.scanStart
 	}
 	for i, c := range m.cores {
 		st.PerCore[i] = c.stats
@@ -258,7 +384,23 @@ func (m *Machine) Collect() (Stats, error) {
 	}
 
 	h.FinishCycle(finalFree)
+	m.phase = phaseIdle
 	return st, nil
+}
+
+// Resume drives a restored (or suspended) collection to completion and
+// returns its statistics, exactly as the tail of Collect would have.
+func (m *Machine) Resume() (Stats, error) {
+	for {
+		done, err := m.StepCycle()
+		if err != nil {
+			return Stats{}, err
+		}
+		if done {
+			break
+		}
+	}
+	return m.FinishCollect()
 }
 
 // allDone reports whether every core has detected termination.

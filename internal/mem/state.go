@@ -1,0 +1,271 @@
+package mem
+
+import (
+	"fmt"
+
+	"hwgc/internal/object"
+)
+
+// The snapshot state of the memory scheduler captures only the primary
+// state — the clock, arbitration pointer, per-core buffers and queues, the
+// in-flight split transactions, and the load-completion order. The derived
+// occupancy counters (unaccepted, storeQueued, validLoads, acceptedLoads),
+// the per-address header-store counters and the waiting bitmaps are all
+// recomputed from it on restore, so a snapshot cannot encode an
+// inconsistent scheduler.
+
+// LoadBuffer is the serializable form of one single-entry load buffer.
+type LoadBuffer struct {
+	Valid    bool
+	Accepted bool
+	Ready    bool
+	Addr     object.Addr
+	Data     object.Word
+	DoneAt   int64
+}
+
+// StoreReq is one store waiting in a write-behind queue.
+type StoreReq struct {
+	Addr object.Addr
+	Data object.Word
+	Seq  int64
+}
+
+// InflightStore is one accepted, not yet committed store.
+type InflightStore struct {
+	Addr   object.Addr
+	Data   object.Word
+	Header bool
+	DoneAt int64
+}
+
+// CoreIOState is the per-core slice of the scheduler state: the two load
+// buffers and the two write-behind store queues (in FIFO order).
+type CoreIOState struct {
+	HeaderLoad   LoadBuffer
+	BodyLoad     LoadBuffer
+	HeaderStores []StoreReq
+	BodyStores   []StoreReq
+}
+
+// State is the complete serializable state of the memory scheduler
+// mid-collection. Completions holds the load-completion queue front to
+// back; each entry encodes doneAt<<16 | core<<1 | portIdx exactly as the
+// live queue does.
+type State struct {
+	Cycle       int64
+	RR          int
+	Seq         int64
+	Stats       Stats
+	BusyUntil   []int64
+	Cores       []CoreIOState
+	Inflight    []InflightStore
+	Completions []int64
+}
+
+// at returns the i-th queued entry in FIFO order.
+func (r *intRing) at(i int) int64 {
+	p := r.head + i
+	if p >= len(r.buf) {
+		p -= len(r.buf)
+	}
+	return r.buf[p]
+}
+
+func captureBuffer(b *buffer) LoadBuffer {
+	return LoadBuffer{
+		Valid:    b.valid,
+		Accepted: b.accepted,
+		Ready:    b.ready,
+		Addr:     b.addr,
+		Data:     b.data,
+		DoneAt:   b.doneAt,
+	}
+}
+
+func captureQueue(q *storeRing) []StoreReq {
+	if q.n == 0 {
+		return nil
+	}
+	out := make([]StoreReq, q.n)
+	for i := range out {
+		s := q.at(i)
+		out[i] = StoreReq{Addr: s.addr, Data: s.data, Seq: s.seq}
+	}
+	return out
+}
+
+// CaptureState returns a deep copy of the scheduler's state. The backing
+// word array is owned by the heap and captured there, not here.
+func (m *Memory) CaptureState() *State {
+	st := &State{
+		Cycle:     m.cycle,
+		RR:        m.rr,
+		Seq:       m.seq,
+		Stats:     m.stats,
+		BusyUntil: append([]int64(nil), m.busyUntil...),
+		Cores:     make([]CoreIOState, len(m.bufs)),
+	}
+	for i := range m.bufs {
+		st.Cores[i] = CoreIOState{
+			HeaderLoad:   captureBuffer(&m.bufs[i][HeaderLoad]),
+			BodyLoad:     captureBuffer(&m.bufs[i][BodyLoad]),
+			HeaderStores: captureQueue(&m.storeQ[i][storeIdx(HeaderStore)]),
+			BodyStores:   captureQueue(&m.storeQ[i][storeIdx(BodyStore)]),
+		}
+	}
+	for _, s := range m.inflight[m.inflightHead:] {
+		st.Inflight = append(st.Inflight, InflightStore{
+			Addr: s.addr, Data: s.data, Header: s.header, DoneAt: s.doneAt,
+		})
+	}
+	for i := 0; i < m.completions.n; i++ {
+		st.Completions = append(st.Completions, m.completions.at(i))
+	}
+	return st
+}
+
+// RestoreState overwrites the scheduler's state from a captured state and
+// rebuilds every derived counter. AttachCores must have been called for the
+// same core count first (it has zeroed hdrCnt and sized the buffers).
+func (m *Memory) RestoreState(st *State) error {
+	if st == nil {
+		return fmt.Errorf("mem: nil state")
+	}
+	n := len(m.bufs)
+	if len(st.Cores) != n {
+		return fmt.Errorf("mem: state for %d cores, scheduler has %d", len(st.Cores), n)
+	}
+	if len(st.BusyUntil) != len(m.busyUntil) {
+		return fmt.Errorf("mem: state has %d bank timers, scheduler has %d", len(st.BusyUntil), len(m.busyUntil))
+	}
+	size := object.Addr(len(m.data))
+	checkAddr := func(what string, a object.Addr) error {
+		if a >= size {
+			return fmt.Errorf("mem: state %s address %d outside memory (%d words)", what, a, size)
+		}
+		return nil
+	}
+	for i, c := range st.Cores {
+		if len(c.HeaderStores) > m.sqDepth || len(c.BodyStores) > m.sqDepth {
+			return fmt.Errorf("mem: state core %d store queue exceeds depth %d", i, m.sqDepth)
+		}
+		for _, b := range []LoadBuffer{c.HeaderLoad, c.BodyLoad} {
+			if b.Valid {
+				if err := checkAddr("load", b.Addr); err != nil {
+					return err
+				}
+			}
+		}
+		for _, s := range append(append([]StoreReq(nil), c.HeaderStores...), c.BodyStores...) {
+			if err := checkAddr("store", s.Addr); err != nil {
+				return err
+			}
+		}
+	}
+	var lastDone int64
+	for _, s := range st.Inflight {
+		if err := checkAddr("inflight store", s.Addr); err != nil {
+			return err
+		}
+		if s.DoneAt < lastDone {
+			return fmt.Errorf("mem: state inflight stores not ordered by completion cycle")
+		}
+		lastDone = s.DoneAt
+	}
+	if len(st.Completions) > len(m.completions.buf) {
+		return fmt.Errorf("mem: state has %d load completions, capacity is %d",
+			len(st.Completions), len(m.completions.buf))
+	}
+	for _, e := range st.Completions {
+		if ci := int(e >> 1 & 0x7fff); ci >= n {
+			return fmt.Errorf("mem: state load completion for core %d, have %d", ci, n)
+		}
+	}
+
+	m.cycle = st.Cycle
+	m.rr = st.RR
+	if n > 0 {
+		m.rr %= n
+		if m.rr < 0 {
+			m.rr += n
+		}
+	}
+	m.seq = st.Seq
+	m.stats = st.Stats
+	copy(m.busyUntil, st.BusyUntil)
+
+	restoreBuffer := func(b *buffer, s LoadBuffer) {
+		*b = buffer{
+			valid:    s.Valid,
+			accepted: s.Accepted,
+			ready:    s.Ready,
+			addr:     s.Addr,
+			data:     s.Data,
+			doneAt:   s.DoneAt,
+		}
+		if s.Valid {
+			m.validLoads++
+			if !s.Accepted {
+				m.unaccepted++
+			} else if !s.Ready {
+				m.acceptedLoads++
+			}
+		}
+	}
+	restoreQueue := func(q *storeRing, reqs []StoreReq, header bool) {
+		q.head, q.n = 0, 0
+		for _, s := range reqs {
+			q.push(storeReq{addr: s.Addr, data: s.Data, seq: s.Seq})
+			m.unaccepted++
+			m.storeQueued++
+			if header {
+				m.hdrCnt[s.Addr] += hdrCntQueuedOne
+			}
+		}
+	}
+
+	m.unaccepted, m.storeQueued, m.validLoads, m.acceptedLoads = 0, 0, 0, 0
+	clear(m.waiting)
+	clear(m.waitMask)
+	for i, c := range st.Cores {
+		restoreBuffer(&m.bufs[i][HeaderLoad], c.HeaderLoad)
+		restoreBuffer(&m.bufs[i][BodyLoad], c.BodyLoad)
+		restoreQueue(&m.storeQ[i][storeIdx(HeaderStore)], c.HeaderStores, true)
+		restoreQueue(&m.storeQ[i][storeIdx(BodyStore)], c.BodyStores, false)
+		var w uint8
+		for _, p := range loadPorts {
+			if b := &m.bufs[i][p]; b.valid && !b.accepted {
+				w |= 1 << p
+			}
+		}
+		if len(c.HeaderStores) > 0 {
+			w |= 1 << HeaderStore
+		}
+		if len(c.BodyStores) > 0 {
+			w |= 1 << BodyStore
+		}
+		if m.waiting[i] = w; w != 0 {
+			m.waitMask[i>>6] |= 1 << (i & 63)
+		}
+	}
+	m.inflight = m.inflight[:0]
+	m.inflightHead = 0
+	for _, s := range st.Inflight {
+		m.inflight = append(m.inflight, inflightStore{
+			addr: s.Addr, data: s.Data, header: s.Header, doneAt: s.DoneAt,
+		})
+		if s.Header {
+			m.hdrCnt[s.Addr] += hdrCntInflightOne
+		}
+	}
+	m.completions.head, m.completions.n = 0, 0
+	for _, e := range st.Completions {
+		m.completions.push(e)
+	}
+	if m.completions.n != m.acceptedLoads {
+		return fmt.Errorf("mem: state has %d load completions for %d accepted loads",
+			m.completions.n, m.acceptedLoads)
+	}
+	return nil
+}

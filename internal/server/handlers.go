@@ -112,6 +112,8 @@ func (s *Server) executeStatus(kind string, err error) (int, string) {
 		return http.StatusTooManyRequests, fmt.Sprintf("job queue full (depth %d); retry later", s.queue.Cap())
 	case errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable, "server is shutting down"
+	case errors.Is(err, ErrPreempted):
+		return http.StatusServiceUnavailable, "job checkpointed and preempted by shutdown; retry after restart"
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout, fmt.Sprintf("request deadline (%s) exceeded while %s", s.opts.Timeout, kind)
 	default:

@@ -31,6 +31,11 @@ type Metrics struct {
 	batchItems   atomic.Int64 // batch items executed (any outcome)
 	batchFailed  atomic.Int64 // batch items that did not end 200
 
+	checkpointsSaved   atomic.Int64 // simulation snapshots persisted to disk
+	checkpointsResumed atomic.Int64 // jobs resumed from an on-disk checkpoint
+	jobsPreempted      atomic.Int64 // jobs stopped at a checkpoint for shutdown
+	recoveriesEnqueued atomic.Int64 // orphaned checkpoints enqueued at startup
+
 	mu       sync.Mutex
 	requests map[string]int64 // by path
 	statuses map[int]int64    // by HTTP status code
@@ -155,6 +160,18 @@ func (m *Metrics) WritePrometheus(w io.Writer, q queueState, c cacheState) error
 	add("# HELP gcserved_batch_item_failures_total Batch items that did not complete with status 200.")
 	add("# TYPE gcserved_batch_item_failures_total counter")
 	add("gcserved_batch_item_failures_total %d", m.batchFailed.Load())
+	add("# HELP gcserved_checkpoints_saved_total Simulation snapshots persisted to the checkpoint directory.")
+	add("# TYPE gcserved_checkpoints_saved_total counter")
+	add("gcserved_checkpoints_saved_total %d", m.checkpointsSaved.Load())
+	add("# HELP gcserved_checkpoints_resumed_total Collect jobs resumed from an on-disk checkpoint.")
+	add("# TYPE gcserved_checkpoints_resumed_total counter")
+	add("gcserved_checkpoints_resumed_total %d", m.checkpointsResumed.Load())
+	add("# HELP gcserved_jobs_preempted_total Collect jobs checkpointed and stopped because the server was draining.")
+	add("# TYPE gcserved_jobs_preempted_total counter")
+	add("gcserved_jobs_preempted_total %d", m.jobsPreempted.Load())
+	add("# HELP gcserved_recoveries_enqueued_total Orphaned checkpoints enqueued for background completion at startup.")
+	add("# TYPE gcserved_recoveries_enqueued_total counter")
+	add("gcserved_recoveries_enqueued_total %d", m.recoveriesEnqueued.Load())
 	add("# HELP gcserved_request_seconds Service latency of job endpoints (upper-bound quantile estimates).")
 	add("# TYPE gcserved_request_seconds summary")
 	add("gcserved_request_seconds{quantile=\"0.5\"} %g", lat.Quantile(0.50))

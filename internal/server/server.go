@@ -51,6 +51,15 @@ type Options struct {
 	MaxScale int
 	// RetryAfter is the hint returned with 429 responses (default 1s).
 	RetryAfter time.Duration
+	// CheckpointDir, when set, enables checkpointed execution of collect
+	// jobs: the simulation state is snapshotted to this directory every
+	// CheckpointCycles clock cycles, shutdown preempts running jobs at the
+	// next checkpoint boundary instead of waiting them out, and a restarted
+	// server resumes orphaned checkpoints from where they stopped.
+	CheckpointDir string
+	// CheckpointCycles is the snapshot interval in simulated clock cycles
+	// (default 200000; only meaningful with CheckpointDir).
+	CheckpointCycles int64
 }
 
 func (o Options) withDefaults() Options {
@@ -75,6 +84,9 @@ func (o Options) withDefaults() Options {
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
 	}
+	if o.CheckpointCycles <= 0 {
+		o.CheckpointCycles = 200_000
+	}
 	return o
 }
 
@@ -88,6 +100,12 @@ type Server struct {
 	mux     *http.ServeMux
 	wg      sync.WaitGroup
 
+	// ckpt is non-nil when Options.CheckpointDir is set; draining is
+	// closed when Shutdown begins, which checkpointed jobs poll at each
+	// snapshot boundary.
+	ckpt     *checkpointStore
+	draining chan struct{}
+
 	startOnce sync.Once
 	stopOnce  sync.Once
 
@@ -95,6 +113,10 @@ type Server struct {
 	// the response body. Tests substitute these to control job duration.
 	runCollect func(req hwgc.CollectRequest) ([]byte, error)
 	runSweep   func(req hwgc.SweepRequest) ([]byte, error)
+
+	// checkpointHook, when set by a test, runs after every checkpoint save
+	// (in the worker goroutine) so tests can preempt at an exact boundary.
+	checkpointHook func(key string)
 }
 
 // New creates a Server. Call Start to spin up the worker pool.
@@ -102,8 +124,13 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:       opts.withDefaults(),
 		metrics:    NewMetrics(),
+		draining:   make(chan struct{}),
 		runCollect: encodeCollect,
 		runSweep:   encodeSweep,
+	}
+	if s.opts.CheckpointDir != "" {
+		s.ckpt = &checkpointStore{dir: s.opts.CheckpointDir}
+		s.runCollect = s.runCheckpointed
 	}
 	s.cache = NewCache(s.opts.CacheEntries, s.opts.CacheBytes)
 	s.queue = NewQueue(s.opts.QueueDepth)
@@ -141,12 +168,17 @@ func encodeSweep(req hwgc.SweepRequest) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-// Start launches the worker pool. Idempotent.
+// Start launches the worker pool and, when checkpointing is enabled,
+// enqueues recovery jobs for checkpoints orphaned by a previous process.
+// Idempotent.
 func (s *Server) Start() {
 	s.startOnce.Do(func() {
 		for i := 0; i < s.opts.Workers; i++ {
 			s.wg.Add(1)
 			go s.worker()
+		}
+		if s.ckpt != nil {
+			s.recoverCheckpoints()
 		}
 	})
 }
@@ -167,11 +199,16 @@ func (s *Server) Queue() *Queue { return s.queue }
 func (s *Server) Cache() *Cache { return s.cache }
 
 // Shutdown drains gracefully: admission stops (new jobs get 503), every
-// job already admitted is executed, and the worker pool exits. It returns
-// nil once the pool has drained, or ctx.Err() if ctx expires first (the
-// workers keep draining in the background in that case).
+// job already admitted is executed — except checkpointed collect jobs,
+// which persist their state at the next snapshot boundary and stop with
+// ErrPreempted — and the worker pool exits. It returns nil once the pool
+// has drained, or ctx.Err() if ctx expires first (the workers keep
+// draining in the background in that case).
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.stopOnce.Do(func() { s.queue.Close() })
+	s.stopOnce.Do(func() {
+		close(s.draining)
+		s.queue.Close()
+	})
 	s.Start() // a never-started pool must still drain admitted jobs
 	done := make(chan struct{})
 	go func() {

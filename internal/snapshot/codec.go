@@ -1,0 +1,202 @@
+// Package snapshot serializes the complete mid-collection state of the
+// simulated GC coprocessor (machine.State) to a versioned, CRC-framed
+// binary format, and computes field-level diffs between two states.
+//
+// The format is the software stand-in for the FPGA prototype's state
+// readback path (paper Section VI-A streams internal state off the chip for
+// offline analysis): a snapshot holds everything needed to resume the
+// collection bit-identically — heap image, scan/free registers and locks,
+// per-core register files, memory-scheduler buffers and in-flight split
+// transactions, header FIFO and cache, stride table.
+//
+// Layout:
+//
+//	magic "HWGCSNP1" | u32 version | section*5
+//
+// with each section framed as
+//
+//	u8 tag | u32 payloadLen | payload | u32 crc32(IEEE, payload)
+//
+// in fixed tag order (config, heap, sync, mem, machine). All integers are
+// little-endian and fixed-width. The decoder validates framing, CRCs, and
+// every element count against the remaining payload bytes before
+// allocating, so truncated, corrupted or adversarial inputs produce errors
+// — never panics or unbounded allocations.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Format identification.
+const (
+	magic   = "HWGCSNP1"
+	version = 1
+)
+
+// Section tags, in their fixed file order.
+const (
+	tagConfig uint8 = 1 + iota
+	tagHeap
+	tagSync
+	tagMem
+	tagMachine
+)
+
+// writer accumulates one section payload.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+// count prefixes a sequence with its element count.
+func (w *writer) count(n int) { w.u32(uint32(n)) }
+
+// frame appends the section to out with its tag, length and checksum.
+func (w *writer) frame(out []byte, tag uint8) []byte {
+	out = append(out, tag)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(w.buf)))
+	out = append(out, w.buf...)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(w.buf))
+}
+
+// reader consumes one section payload with a sticky error: after the first
+// failure every subsequent read returns zero values, and the caller checks
+// err once at the end.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("snapshot: "+format, args...)
+	}
+}
+
+func (r *reader) remaining() int { return len(r.data) - r.off }
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.remaining() < n {
+		r.fail("truncated: need %d bytes, have %d", n, r.remaining())
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+func (r *reader) bool() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("invalid boolean encoding")
+		return false
+	}
+}
+
+// intField reads an i64 into an int, rejecting values that do not round-trip
+// (a corrupted snapshot must not silently truncate on 32-bit platforms).
+func (r *reader) intField() int {
+	v := r.i64()
+	n := int(v)
+	if int64(n) != v {
+		r.fail("integer %d overflows int", v)
+	}
+	return n
+}
+
+// count reads an element count and bounds it by the remaining payload:
+// every element occupies at least minItemSize bytes, so a count larger than
+// remaining/minItemSize is corrupt and must not drive an allocation.
+func (r *reader) count(minItemSize int) int {
+	n := r.u32()
+	if r.err != nil {
+		return 0
+	}
+	if int64(n)*int64(minItemSize) > int64(r.remaining()) {
+		r.fail("element count %d exceeds remaining %d bytes", n, r.remaining())
+		return 0
+	}
+	return int(n)
+}
+
+// done checks that the payload was consumed exactly.
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.remaining() != 0 {
+		return fmt.Errorf("snapshot: %d trailing bytes in section", r.remaining())
+	}
+	return nil
+}
+
+// readSection validates the next section's framing against wantTag and
+// returns a reader over its checksummed payload.
+func readSection(r *reader, wantTag uint8) (*reader, error) {
+	tag := r.u8()
+	n := r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if tag != wantTag {
+		return nil, fmt.Errorf("snapshot: section tag %d, want %d", tag, wantTag)
+	}
+	payload := r.take(int(n))
+	sum := r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("snapshot: section %d checksum mismatch (%08x != %08x)", tag, got, sum)
+	}
+	return &reader{data: payload}, nil
+}

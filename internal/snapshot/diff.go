@@ -1,0 +1,84 @@
+package snapshot
+
+import (
+	"fmt"
+	"reflect"
+
+	"hwgc/internal/machine"
+)
+
+// maxDiffs caps Diff's output; a diverged heap image can differ in
+// thousands of words and the first handful already identify the divergence.
+const maxDiffs = 100
+
+// Diff compares two machine states field by field and returns one line per
+// differing leaf field, as "path: a-value != b-value". Top-level fields
+// named in ignore are skipped (bisect ignores "Config" when comparing runs
+// that intentionally differ in configuration). Output is capped at 100
+// lines, with a trailing "... and N more" marker.
+func Diff(a, b *machine.State, ignore ...string) []string {
+	skip := map[string]bool{}
+	for _, f := range ignore {
+		skip[f] = true
+	}
+	d := &differ{skip: skip}
+	d.walk("", reflect.ValueOf(a).Elem(), reflect.ValueOf(b).Elem(), true)
+	if d.extra > 0 {
+		d.out = append(d.out, fmt.Sprintf("... and %d more", d.extra))
+	}
+	return d.out
+}
+
+type differ struct {
+	skip  map[string]bool
+	out   []string
+	extra int
+}
+
+func (d *differ) report(path string, a, b reflect.Value) {
+	if len(d.out) >= maxDiffs {
+		d.extra++
+		return
+	}
+	d.out = append(d.out, fmt.Sprintf("%s: %v != %v", path, a.Interface(), b.Interface()))
+}
+
+// walk recurses through matching structure; top marks the root level, where
+// the ignore set applies.
+func (d *differ) walk(path string, a, b reflect.Value, top bool) {
+	switch a.Kind() {
+	case reflect.Pointer:
+		switch {
+		case a.IsNil() && b.IsNil():
+		case a.IsNil() || b.IsNil():
+			d.report(path, a, b)
+		default:
+			d.walk(path, a.Elem(), b.Elem(), top)
+		}
+	case reflect.Struct:
+		t := a.Type()
+		for i := 0; i < t.NumField(); i++ {
+			name := t.Field(i).Name
+			if top && d.skip[name] {
+				continue
+			}
+			p := name
+			if path != "" {
+				p = path + "." + name
+			}
+			d.walk(p, a.Field(i), b.Field(i), false)
+		}
+	case reflect.Slice, reflect.Array:
+		n, m := a.Len(), b.Len()
+		if n != m {
+			d.report(path+".len", reflect.ValueOf(n), reflect.ValueOf(m))
+		}
+		for i := 0; i < n && i < m; i++ {
+			d.walk(fmt.Sprintf("%s[%d]", path, i), a.Index(i), b.Index(i), false)
+		}
+	default:
+		if !a.Equal(b) {
+			d.report(path, a, b)
+		}
+	}
+}

@@ -1,0 +1,586 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hwgc/internal/heap"
+	"hwgc/internal/machine"
+	"hwgc/internal/mem"
+	"hwgc/internal/syncblock"
+)
+
+// Encode serializes a captured machine state.
+func Encode(st *machine.State) []byte {
+	out := append([]byte(nil), magic...)
+	var hdr writer
+	hdr.u32(version)
+	out = append(out, hdr.buf...)
+
+	var w writer
+	encodeConfig(&w, st.Config)
+	out = w.frame(out, tagConfig)
+
+	w = writer{}
+	encodeHeap(&w, st.Heap)
+	out = w.frame(out, tagHeap)
+
+	w = writer{}
+	encodeSync(&w, st.Sync)
+	out = w.frame(out, tagSync)
+
+	w = writer{}
+	encodeMem(&w, st.Mem)
+	out = w.frame(out, tagMem)
+
+	w = writer{}
+	encodeMachine(&w, st)
+	out = w.frame(out, tagMachine)
+	return out
+}
+
+// Decode parses a serialized machine state, validating framing and
+// checksums. The result is structurally sound but not semantically
+// validated — machine.RestoreMachine performs the cross-field checks.
+func Decode(data []byte) (*machine.State, error) {
+	r := &reader{data: data}
+	if got := r.take(len(magic)); r.err != nil {
+		return nil, r.err
+	} else if string(got) != magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", got)
+	}
+	if v := r.u32(); r.err != nil {
+		return nil, r.err
+	} else if v != version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (have %d)", v, version)
+	}
+
+	st := &machine.State{}
+	sec, err := readSection(r, tagConfig)
+	if err != nil {
+		return nil, err
+	}
+	if st.Config, err = decodeConfig(sec); err != nil {
+		return nil, err
+	}
+	if sec, err = readSection(r, tagHeap); err != nil {
+		return nil, err
+	}
+	if st.Heap, err = decodeHeap(sec); err != nil {
+		return nil, err
+	}
+	if sec, err = readSection(r, tagSync); err != nil {
+		return nil, err
+	}
+	if st.Sync, err = decodeSync(sec); err != nil {
+		return nil, err
+	}
+	if sec, err = readSection(r, tagMem); err != nil {
+		return nil, err
+	}
+	if st.Mem, err = decodeMem(sec); err != nil {
+		return nil, err
+	}
+	if sec, err = readSection(r, tagMachine); err != nil {
+		return nil, err
+	}
+	if err = decodeMachine(sec, st); err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes after last section", r.remaining())
+	}
+	return st, nil
+}
+
+// WriteFile atomically writes the encoded state to path (temp file +
+// rename), so a crash mid-write never leaves a torn snapshot behind.
+func WriteFile(path string, st *machine.State) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(Encode(st)); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile reads and decodes a snapshot file.
+func ReadFile(path string) (*machine.State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+func encodeConfig(w *writer, c machine.Config) {
+	w.i64(int64(c.Cores))
+	w.i64(int64(c.MemLatency))
+	w.i64(int64(c.ExtraMemLatency))
+	w.i64(int64(c.MemBandwidth))
+	w.i64(int64(c.MemStoreQueueDepth))
+	w.i64(int64(c.MemBanks))
+	w.i64(int64(c.MemBankBusy))
+	w.i64(int64(c.FIFOCapacity))
+	w.bool(c.DisableFIFO)
+	w.bool(c.OptUnlockedMarkRead)
+	w.i64(int64(c.HeaderCacheLines))
+	w.i64(int64(c.StrideWords))
+	w.i64(c.StartupCycles)
+	w.i64(c.ShutdownCycles)
+	w.i64(c.MaxCycles)
+}
+
+func decodeConfig(r *reader) (machine.Config, error) {
+	c := machine.Config{
+		Cores:              r.intField(),
+		MemLatency:         r.intField(),
+		ExtraMemLatency:    r.intField(),
+		MemBandwidth:       r.intField(),
+		MemStoreQueueDepth: r.intField(),
+		MemBanks:           r.intField(),
+		MemBankBusy:        r.intField(),
+		FIFOCapacity:       r.intField(),
+	}
+	c.DisableFIFO = r.bool()
+	c.OptUnlockedMarkRead = r.bool()
+	c.HeaderCacheLines = r.intField()
+	c.StrideWords = r.intField()
+	c.StartupCycles = r.i64()
+	c.ShutdownCycles = r.i64()
+	c.MaxCycles = r.i64()
+	return c, r.done()
+}
+
+func encodeHeap(w *writer, h *heap.State) {
+	w.i64(int64(h.Semi))
+	w.i64(int64(h.Cur))
+	w.u32(h.Alloc)
+	w.i64(h.AllocCnt)
+	w.count(len(h.Roots))
+	for _, a := range h.Roots {
+		w.u32(a)
+	}
+	w.count(len(h.Mem))
+	for _, v := range h.Mem {
+		w.u64(v)
+	}
+}
+
+func decodeHeap(r *reader) (*heap.State, error) {
+	h := &heap.State{
+		Semi:     r.intField(),
+		Cur:      r.intField(),
+		Alloc:    r.u32(),
+		AllocCnt: r.i64(),
+	}
+	if n := r.count(4); n > 0 {
+		h.Roots = make([]uint32, n)
+		for i := range h.Roots {
+			h.Roots[i] = r.u32()
+		}
+	}
+	if n := r.count(8); n > 0 {
+		h.Mem = make([]uint64, n)
+		for i := range h.Mem {
+			h.Mem[i] = r.u64()
+		}
+	}
+	return h, r.done()
+}
+
+func encodeSync(w *writer, s *syncblock.State) {
+	w.i64(int64(s.Cores))
+	w.u32(s.Scan)
+	w.u32(s.Free)
+	w.i64(int64(s.ScanOwner))
+	w.i64(int64(s.FreeOwner))
+	w.count(len(s.HeaderReg))
+	for _, a := range s.HeaderReg {
+		w.u32(a)
+	}
+	w.count(len(s.Busy))
+	for _, b := range s.Busy {
+		w.bool(b)
+	}
+	w.count(len(s.Barriers))
+	for _, arr := range s.Barriers {
+		w.bool(arr != nil)
+		if arr != nil {
+			w.count(len(arr))
+			for _, b := range arr {
+				w.bool(b)
+			}
+		}
+	}
+	w.i64(s.Stats.ScanAcquisitions)
+	w.i64(s.Stats.FreeAcquisitions)
+	w.i64(s.Stats.HeaderAcquisitions)
+	w.i64(s.Stats.ScanConflicts)
+	w.i64(s.Stats.FreeConflicts)
+	w.i64(s.Stats.HeaderConflicts)
+}
+
+func decodeSync(r *reader) (*syncblock.State, error) {
+	s := &syncblock.State{
+		Cores:     r.intField(),
+		Scan:      r.u32(),
+		Free:      r.u32(),
+		ScanOwner: r.intField(),
+		FreeOwner: r.intField(),
+	}
+	if n := r.count(4); n > 0 {
+		s.HeaderReg = make([]uint32, n)
+		for i := range s.HeaderReg {
+			s.HeaderReg[i] = r.u32()
+		}
+	}
+	if n := r.count(1); n > 0 {
+		s.Busy = make([]bool, n)
+		for i := range s.Busy {
+			s.Busy[i] = r.bool()
+		}
+	}
+	if n := r.count(1); n > 0 {
+		s.Barriers = make([][]bool, n)
+		for i := range s.Barriers {
+			if !r.bool() {
+				continue
+			}
+			arr := make([]bool, r.count(1))
+			for j := range arr {
+				arr[j] = r.bool()
+			}
+			s.Barriers[i] = arr
+		}
+	}
+	s.Stats.ScanAcquisitions = r.i64()
+	s.Stats.FreeAcquisitions = r.i64()
+	s.Stats.HeaderAcquisitions = r.i64()
+	s.Stats.ScanConflicts = r.i64()
+	s.Stats.FreeConflicts = r.i64()
+	s.Stats.HeaderConflicts = r.i64()
+	return s, r.done()
+}
+
+func encodeLoadBuffer(w *writer, b mem.LoadBuffer) {
+	w.bool(b.Valid)
+	w.bool(b.Accepted)
+	w.bool(b.Ready)
+	w.u32(b.Addr)
+	w.u64(b.Data)
+	w.i64(b.DoneAt)
+}
+
+func decodeLoadBuffer(r *reader) mem.LoadBuffer {
+	return mem.LoadBuffer{
+		Valid:    r.bool(),
+		Accepted: r.bool(),
+		Ready:    r.bool(),
+		Addr:     r.u32(),
+		Data:     r.u64(),
+		DoneAt:   r.i64(),
+	}
+}
+
+func encodeStoreQueue(w *writer, q []mem.StoreReq) {
+	w.count(len(q))
+	for _, s := range q {
+		w.u32(s.Addr)
+		w.u64(s.Data)
+		w.i64(s.Seq)
+	}
+}
+
+func decodeStoreQueue(r *reader) []mem.StoreReq {
+	n := r.count(20)
+	if n == 0 {
+		return nil
+	}
+	q := make([]mem.StoreReq, n)
+	for i := range q {
+		q[i] = mem.StoreReq{Addr: r.u32(), Data: r.u64(), Seq: r.i64()}
+	}
+	return q
+}
+
+func encodeMem(w *writer, s *mem.State) {
+	w.i64(s.Cycle)
+	w.i64(int64(s.RR))
+	w.i64(s.Seq)
+	for _, v := range s.Stats.Accepted {
+		w.i64(v)
+	}
+	w.i64(s.Stats.BusyCycles)
+	w.i64(s.Stats.SaturatedCyc)
+	w.i64(s.Stats.OrderDelays)
+	w.i64(s.Stats.BankConflicts)
+	w.i64(int64(s.Stats.PeakPending))
+	w.i64(s.Stats.RejectedByBW)
+	w.i64(s.Stats.TotalRequests)
+	w.count(len(s.BusyUntil))
+	for _, v := range s.BusyUntil {
+		w.i64(v)
+	}
+	w.count(len(s.Cores))
+	for _, c := range s.Cores {
+		encodeLoadBuffer(w, c.HeaderLoad)
+		encodeLoadBuffer(w, c.BodyLoad)
+		encodeStoreQueue(w, c.HeaderStores)
+		encodeStoreQueue(w, c.BodyStores)
+	}
+	w.count(len(s.Inflight))
+	for _, f := range s.Inflight {
+		w.u32(f.Addr)
+		w.u64(f.Data)
+		w.bool(f.Header)
+		w.i64(f.DoneAt)
+	}
+	w.count(len(s.Completions))
+	for _, v := range s.Completions {
+		w.i64(v)
+	}
+}
+
+func decodeMem(r *reader) (*mem.State, error) {
+	s := &mem.State{
+		Cycle: r.i64(),
+		RR:    r.intField(),
+		Seq:   r.i64(),
+	}
+	for i := range s.Stats.Accepted {
+		s.Stats.Accepted[i] = r.i64()
+	}
+	s.Stats.BusyCycles = r.i64()
+	s.Stats.SaturatedCyc = r.i64()
+	s.Stats.OrderDelays = r.i64()
+	s.Stats.BankConflicts = r.i64()
+	s.Stats.PeakPending = r.intField()
+	s.Stats.RejectedByBW = r.i64()
+	s.Stats.TotalRequests = r.i64()
+	if n := r.count(8); n > 0 {
+		s.BusyUntil = make([]int64, n)
+		for i := range s.BusyUntil {
+			s.BusyUntil[i] = r.i64()
+		}
+	}
+	// Two load buffers (23 bytes each) plus two queue counts.
+	if n := r.count(2*23 + 2*4); n > 0 {
+		s.Cores = make([]mem.CoreIOState, n)
+		for i := range s.Cores {
+			s.Cores[i] = mem.CoreIOState{
+				HeaderLoad:   decodeLoadBuffer(r),
+				BodyLoad:     decodeLoadBuffer(r),
+				HeaderStores: decodeStoreQueue(r),
+				BodyStores:   decodeStoreQueue(r),
+			}
+		}
+	}
+	if n := r.count(21); n > 0 {
+		s.Inflight = make([]mem.InflightStore, n)
+		for i := range s.Inflight {
+			s.Inflight[i] = mem.InflightStore{
+				Addr: r.u32(), Data: r.u64(), Header: r.bool(), DoneAt: r.i64(),
+			}
+		}
+	}
+	if n := r.count(8); n > 0 {
+		s.Completions = make([]int64, n)
+		for i := range s.Completions {
+			s.Completions[i] = r.i64()
+		}
+	}
+	return s, r.done()
+}
+
+func encodeCoreState(w *writer, c *machine.CoreState) {
+	w.i64(int64(c.St))
+	w.u32(c.ObjTo)
+	w.u32(c.Backlink)
+	w.u64(c.Attrs)
+	w.i64(int64(c.Pi))
+	w.i64(int64(c.Delta))
+	w.i64(int64(c.BodyPos))
+	w.i64(int64(c.BodyEnd))
+	w.u64(c.DataWord)
+	w.u32(c.ChildPtr)
+	w.u64(c.ChildHdr)
+	w.u32(c.NewPtr)
+	w.u32(c.EvacAddr)
+	w.u64(c.GrayHdr)
+	w.i64(int64(c.RootIdx))
+	w.bool(c.InRoots)
+	w.i64(c.StartupLeft)
+	w.i64(c.SleepUntil)
+	encodeCoreStats(w, &c.Stats)
+}
+
+func decodeCoreState(r *reader) machine.CoreState {
+	c := machine.CoreState{
+		St:       r.intField(),
+		ObjTo:    r.u32(),
+		Backlink: r.u32(),
+		Attrs:    r.u64(),
+		Pi:       r.intField(),
+		Delta:    r.intField(),
+		BodyPos:  r.intField(),
+		BodyEnd:  r.intField(),
+		DataWord: r.u64(),
+		ChildPtr: r.u32(),
+		ChildHdr: r.u64(),
+		NewPtr:   r.u32(),
+		EvacAddr: r.u32(),
+		GrayHdr:  r.u64(),
+		RootIdx:  r.intField(),
+	}
+	c.InRoots = r.bool()
+	c.StartupLeft = r.i64()
+	c.SleepUntil = r.i64()
+	c.Stats = decodeCoreStats(r)
+	return c
+}
+
+func encodeCoreStats(w *writer, s *machine.CoreStats) {
+	w.i64(s.ScanLockStall)
+	w.i64(s.FreeLockStall)
+	w.i64(s.HeaderLockStall)
+	w.i64(s.BodyLoadStall)
+	w.i64(s.BodyStoreStall)
+	w.i64(s.HeaderLoadStall)
+	w.i64(s.HeaderStoreStall)
+	w.i64(s.ObjectsScanned)
+	w.i64(s.ObjectsEvacuated)
+	w.i64(s.Strides)
+	w.i64(s.StrideTableStall)
+	w.i64(s.PointersSeen)
+	w.i64(s.WordsCopied)
+	w.i64(s.FIFOHits)
+	w.i64(s.FIFOMisses)
+}
+
+func decodeCoreStats(r *reader) machine.CoreStats {
+	return machine.CoreStats{
+		ScanLockStall:    r.i64(),
+		FreeLockStall:    r.i64(),
+		HeaderLockStall:  r.i64(),
+		BodyLoadStall:    r.i64(),
+		BodyStoreStall:   r.i64(),
+		HeaderLoadStall:  r.i64(),
+		HeaderStoreStall: r.i64(),
+		ObjectsScanned:   r.i64(),
+		ObjectsEvacuated: r.i64(),
+		Strides:          r.i64(),
+		StrideTableStall: r.i64(),
+		PointersSeen:     r.i64(),
+		WordsCopied:      r.i64(),
+		FIFOHits:         r.i64(),
+		FIFOMisses:       r.i64(),
+	}
+}
+
+func encodeMachine(w *writer, st *machine.State) {
+	w.i64(st.Cycle)
+	w.i64(st.MaxCycles)
+	w.i64(st.ScanStart)
+	w.i64(st.ScanEnd)
+	w.i64(st.EmptyCycles)
+	w.i64(st.FIFODrops)
+	w.i64(st.FFJumps)
+	w.i64(st.FFSkipped)
+	w.bool(st.ScanFrameValid)
+	w.u64(st.ScanFrameHdr)
+	w.i64(int64(st.ScanOff))
+	w.bool(st.MutStarted)
+	w.bool(st.NoFastForward)
+	w.count(len(st.Cores))
+	for i := range st.Cores {
+		encodeCoreState(w, &st.Cores[i])
+	}
+	w.count(len(st.FIFO.Entries))
+	for _, e := range st.FIFO.Entries {
+		w.u32(e.Addr)
+		w.u64(e.Hdr)
+	}
+	w.i64(st.FIFO.Hits)
+	w.i64(st.FIFO.Misses)
+	w.i64(st.FIFO.Drops)
+	w.i64(int64(st.FIFO.MaxDepth))
+	w.count(len(st.HeaderCache.Lines))
+	for _, l := range st.HeaderCache.Lines {
+		w.bool(l.Valid)
+		w.u32(l.Addr)
+		w.u64(l.Data)
+	}
+	w.i64(st.HeaderCache.Hits)
+	w.i64(st.HeaderCache.Misses)
+	w.count(len(st.Strides))
+	for _, e := range st.Strides {
+		w.bool(e.Used)
+		w.u32(e.ObjTo)
+		w.u64(e.Attrs)
+		w.i64(int64(e.Outstanding))
+		w.bool(e.Final)
+	}
+}
+
+func decodeMachine(r *reader, st *machine.State) error {
+	st.Cycle = r.i64()
+	st.MaxCycles = r.i64()
+	st.ScanStart = r.i64()
+	st.ScanEnd = r.i64()
+	st.EmptyCycles = r.i64()
+	st.FIFODrops = r.i64()
+	st.FFJumps = r.i64()
+	st.FFSkipped = r.i64()
+	st.ScanFrameValid = r.bool()
+	st.ScanFrameHdr = r.u64()
+	st.ScanOff = r.intField()
+	st.MutStarted = r.bool()
+	st.NoFastForward = r.bool()
+	// A core state is 18 fixed fields plus 15 stat counters; 100 is a safe
+	// lower bound on its encoded size.
+	if n := r.count(100); n > 0 {
+		st.Cores = make([]machine.CoreState, n)
+		for i := range st.Cores {
+			st.Cores[i] = decodeCoreState(r)
+		}
+	}
+	if n := r.count(12); n > 0 {
+		st.FIFO.Entries = make([]machine.FIFOEntryState, n)
+		for i := range st.FIFO.Entries {
+			st.FIFO.Entries[i] = machine.FIFOEntryState{Addr: r.u32(), Hdr: r.u64()}
+		}
+	}
+	st.FIFO.Hits = r.i64()
+	st.FIFO.Misses = r.i64()
+	st.FIFO.Drops = r.i64()
+	st.FIFO.MaxDepth = r.intField()
+	if n := r.count(13); n > 0 {
+		st.HeaderCache.Lines = make([]machine.HeaderCacheLineState, n)
+		for i := range st.HeaderCache.Lines {
+			st.HeaderCache.Lines[i] = machine.HeaderCacheLineState{
+				Valid: r.bool(), Addr: r.u32(), Data: r.u64(),
+			}
+		}
+	}
+	st.HeaderCache.Hits = r.i64()
+	st.HeaderCache.Misses = r.i64()
+	if n := r.count(22); n > 0 {
+		st.Strides = make([]machine.StrideEntryState, n)
+		for i := range st.Strides {
+			st.Strides[i] = machine.StrideEntryState{
+				Used: r.bool(), ObjTo: r.u32(), Attrs: r.u64(),
+				Outstanding: r.intField(), Final: r.bool(),
+			}
+		}
+	}
+	return r.done()
+}

@@ -1,0 +1,206 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hwgc/internal/machine"
+	"hwgc/internal/workload"
+)
+
+// captureState runs a collection to a checkpoint and snapshots it.
+func captureState(t testing.TB, bench string, cfg machine.Config, cycles int64) *machine.State {
+	t.Helper()
+	spec, err := workload.Get(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := spec.Plan(1, 42).BuildHeap(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.BeginCollect()
+	if done, err := m.StepCycles(cycles); err != nil {
+		t.Fatal(err)
+	} else if done {
+		t.Fatalf("collection finished before cycle %d", cycles)
+	}
+	st, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, cfg := range []machine.Config{
+		{Cores: 1},
+		{Cores: 4, HeaderCacheLines: 64},
+		{Cores: 8, StrideWords: 16, MemBanks: 4},
+	} {
+		st := captureState(t, "jlisp", cfg, 200)
+		data := Encode(st)
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("decode (%d cores): %v", cfg.Cores, err)
+		}
+		if !reflect.DeepEqual(st, got) {
+			t.Fatalf("round trip not identical (%d cores): %v", cfg.Cores, Diff(st, got))
+		}
+		// And the decoded state must actually restore and resume.
+		m, err := machine.RestoreMachine(got)
+		if err != nil {
+			t.Fatalf("restore (%d cores): %v", cfg.Cores, err)
+		}
+		if _, err := m.Resume(); err != nil {
+			t.Fatalf("resume (%d cores): %v", cfg.Cores, err)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	st := captureState(t, "jlisp", machine.Config{Cores: 2}, 100)
+	data := Encode(st)
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 4, len(magic), len(magic) + 4, len(data) / 2, len(data) - 1} {
+			if _, err := Decode(data[:n]); err == nil {
+				t.Errorf("truncation to %d bytes decoded without error", n)
+			}
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[0] ^= 0xff
+		if _, err := Decode(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Errorf("bad magic: err = %v", err)
+		}
+	})
+	t.Run("version-skew", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint32(bad[len(magic):], version+1)
+		if _, err := Decode(bad); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Errorf("version skew: err = %v", err)
+		}
+	})
+	t.Run("payload-bit-flip", func(t *testing.T) {
+		// Flipping any payload bit must break a CRC (or the framing).
+		for _, off := range []int{20, 50, 100, len(data) - 10} {
+			bad := append([]byte(nil), data...)
+			bad[off] ^= 1
+			if _, err := Decode(bad); err == nil {
+				t.Errorf("bit flip at %d decoded without error", off)
+			}
+		}
+	})
+	t.Run("trailing-garbage", func(t *testing.T) {
+		if _, err := Decode(append(append([]byte(nil), data...), 0xde, 0xad)); err == nil {
+			t.Error("trailing bytes decoded without error")
+		}
+	})
+}
+
+func TestDecodeBoundsAllocations(t *testing.T) {
+	// A tiny input claiming a huge element count must error out instead of
+	// attempting the allocation.
+	var w writer
+	w.u32(version)
+	data := append([]byte(magic), w.buf...)
+	var sec writer
+	encodeConfig(&sec, machine.Config{Cores: 1})
+	data = sec.frame(data, tagConfig)
+	var hp writer
+	hp.i64(64)         // semi
+	hp.i64(0)          // cur
+	hp.u32(1)          // alloc
+	hp.i64(0)          // allocCnt
+	hp.u32(0xffffffff) // absurd root count with no bytes behind it
+	data = hp.frame(data, tagHeap)
+	if _, err := Decode(data); err == nil || !strings.Contains(err.Error(), "count") {
+		t.Fatalf("oversized count: err = %v", err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	st := captureState(t, "jlisp", machine.Config{Cores: 2}, 100)
+	path := t.TempDir() + "/state.snap"
+	if err := WriteFile(path, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatal("file round trip not identical")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := captureState(t, "jlisp", machine.Config{Cores: 2}, 100)
+	b := captureState(t, "jlisp", machine.Config{Cores: 2}, 100)
+	if d := Diff(a, b); len(d) != 0 {
+		t.Fatalf("identical states diff: %v", d)
+	}
+	b.Cycle += 5
+	b.Cores[1].Stats.ObjectsScanned++
+	b.Heap.Mem[10] ^= 1
+	d := Diff(a, b)
+	if len(d) != 3 {
+		t.Fatalf("want 3 diffs, got %v", d)
+	}
+	joined := strings.Join(d, "\n")
+	for _, want := range []string{"Cycle:", "Cores[1].Stats.ObjectsScanned:", "Heap.Mem[10]:"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diff output missing %q:\n%s", want, joined)
+		}
+	}
+
+	// The ignore list masks top-level fields.
+	b2 := captureState(t, "jlisp", machine.Config{Cores: 2, MemLatency: 5}, 100)
+	d = Diff(a, b2, "Config")
+	for _, line := range d {
+		if strings.HasPrefix(line, "Config") {
+			t.Errorf("ignored field leaked into diff: %s", line)
+		}
+	}
+
+	// Output is capped.
+	c := captureState(t, "jlisp", machine.Config{Cores: 2}, 100)
+	for i := range c.Heap.Mem {
+		c.Heap.Mem[i] ^= 0xffff
+	}
+	d = Diff(a, c)
+	if len(d) != maxDiffs+1 || !strings.Contains(d[maxDiffs], "more") {
+		t.Fatalf("cap not applied: %d lines, last %q", len(d), d[len(d)-1])
+	}
+}
+
+// FuzzSnapshotDecode checks that arbitrary bytes — including mutations of a
+// valid snapshot — never panic or over-allocate in Decode, and that inputs
+// accepted by Decode re-encode canonically.
+func FuzzSnapshotDecode(f *testing.F) {
+	st := captureState(f, "jlisp", machine.Config{Cores: 2}, 100)
+	valid := Encode(st)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Anything Decode accepts must re-encode to the same bytes (the
+		// format has a single canonical encoding per state).
+		if !reflect.DeepEqual(Encode(got), data) {
+			t.Fatal("accepted input does not re-encode canonically")
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package syncblock
+
+import (
+	"fmt"
+
+	"hwgc/internal/object"
+)
+
+// State is the complete serializable state of the synchronization block
+// mid-collection: scan/free registers and lock owners, per-core header-lock
+// registers, ScanState busy bits, barrier arrival bits, and the event
+// counters. The derived busyCount and per-barrier arrival counts are
+// recomputed on restore.
+type State struct {
+	Cores     int
+	Scan      object.Addr
+	Free      object.Addr
+	ScanOwner int
+	FreeOwner int
+	HeaderReg []object.Addr
+	Busy      []bool
+	Barriers  [][]bool
+	Stats     Stats
+}
+
+// CaptureState returns a deep copy of the SB's state.
+func (s *SB) CaptureState() *State {
+	st := &State{
+		Cores:     s.n,
+		Scan:      s.scan,
+		Free:      s.free,
+		ScanOwner: s.scanOwner,
+		FreeOwner: s.freeOwner,
+		HeaderReg: append([]object.Addr(nil), s.headerReg...),
+		Busy:      append([]bool(nil), s.busy...),
+		Barriers:  make([][]bool, len(s.barriers)),
+		Stats:     s.stats,
+	}
+	for id, arr := range s.barriers {
+		if arr != nil {
+			st.Barriers[id] = append([]bool(nil), arr...)
+		}
+	}
+	return st
+}
+
+// RestoreState overwrites the SB's state from a captured state, validating
+// shapes and owner ranges. The SB must have been created for the same core
+// count.
+func (s *SB) RestoreState(st *State) error {
+	if st == nil {
+		return fmt.Errorf("syncblock: nil state")
+	}
+	if st.Cores != s.n {
+		return fmt.Errorf("syncblock: state for %d cores, SB has %d", st.Cores, s.n)
+	}
+	if len(st.HeaderReg) != s.n || len(st.Busy) != s.n {
+		return fmt.Errorf("syncblock: state register lengths %d/%d, want %d",
+			len(st.HeaderReg), len(st.Busy), s.n)
+	}
+	if st.ScanOwner < noOwner || st.ScanOwner >= s.n {
+		return fmt.Errorf("syncblock: scan owner %d out of range", st.ScanOwner)
+	}
+	if st.FreeOwner < noOwner || st.FreeOwner >= s.n {
+		return fmt.Errorf("syncblock: free owner %d out of range", st.FreeOwner)
+	}
+	for id, arr := range st.Barriers {
+		if arr != nil && len(arr) != s.n {
+			return fmt.Errorf("syncblock: barrier %d has %d arrival bits, want %d", id, len(arr), s.n)
+		}
+	}
+	s.scan = st.Scan
+	s.free = st.Free
+	s.scanOwner = st.ScanOwner
+	s.freeOwner = st.FreeOwner
+	copy(s.headerReg, st.HeaderReg)
+	s.busyCount = 0
+	for i, b := range st.Busy {
+		s.busy[i] = b
+		if b {
+			s.busyCount++
+		}
+	}
+	s.barriers = make([][]bool, len(st.Barriers))
+	s.arrived = make([]int, len(st.Barriers))
+	for id, arr := range st.Barriers {
+		if arr == nil {
+			continue
+		}
+		s.barriers[id] = append([]bool(nil), arr...)
+		for _, a := range arr {
+			if a {
+				s.arrived[id]++
+			}
+		}
+	}
+	s.stats = st.Stats
+	return nil
+}

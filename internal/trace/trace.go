@@ -52,15 +52,16 @@ func NewMonitor(interval int64, maxSamples int) *Monitor {
 	return &Monitor{Interval: interval, MaxSamples: maxSamples}
 }
 
-// Attach installs the monitor as m's per-cycle probe. Only one probe can be
-// attached at a time.
+// Attach registers the monitor as one of m's per-cycle observers via
+// AddProbe, so it coexists with other probes (a snapshot recorder, test
+// hooks) in registration order.
 func (t *Monitor) Attach(m *machine.Machine) {
-	m.Probe = func(cycle int64, m *machine.Machine) {
+	m.AddProbe(func(cycle int64, m *machine.Machine) {
 		if cycle%t.Interval != 0 {
 			return
 		}
 		t.record(t.sample(cycle, m))
-	}
+	})
 }
 
 func (t *Monitor) sample(cycle int64, m *machine.Machine) Sample {

@@ -1,0 +1,95 @@
+package hwgc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSnapshotRoundTrip measures one full checkpoint round trip —
+// capture + encode to bytes, then decode + rebuild a runnable machine —
+// taken mid-collection, where the scan frontier, lock registers and
+// in-flight memory transactions are all live. snapshot-bytes reports the
+// serialized size.
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	h, err := BuildWorkload("search", 1, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	col, err := StartCollection(h, Config{Cores: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if done, err := col.StepCycles(1000); err != nil || done {
+		b.Fatalf("stepping to checkpoint: done=%v err=%v", done, err)
+	}
+	var size int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := col.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = len(snap)
+		if _, err := ResumeCollection(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(size), "snapshot-bytes")
+}
+
+// BenchmarkCheckpointedCollect measures the overhead of checkpoint-every-N
+// execution against a plain run of the same collection. gc-clock-cycles
+// must be identical across all variants — checkpointing is observation,
+// not perturbation — so the benchmark gate's exact-match rule holds the
+// determinism contract, while ns/op shows the wall-clock cost of the
+// snapshots.
+func BenchmarkCheckpointedCollect(b *testing.B) {
+	run := func(b *testing.B, every int64) {
+		b.Helper()
+		var st Stats
+		var checkpoints int
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			h, err := BuildWorkload("search", 1, benchSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if every == 0 {
+				if st, err = Collect(h, Config{Cores: 8}); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			col, err := StartCollection(h, Config{Cores: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			checkpoints = 0
+			for {
+				done, err := col.StepCycles(every)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if done {
+					break
+				}
+				if _, err := col.Snapshot(); err != nil {
+					b.Fatal(err)
+				}
+				checkpoints++
+			}
+			if st, err = col.Finish(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(st.Cycles), "gc-clock-cycles")
+		if every > 0 {
+			b.ReportMetric(float64(checkpoints), "checkpoints")
+		}
+	}
+	b.Run("plain", func(b *testing.B) { run(b, 0) })
+	for _, every := range []int64{50000, 5000} {
+		b.Run(fmt.Sprintf("every=%d", every), func(b *testing.B) { run(b, every) })
+	}
+}

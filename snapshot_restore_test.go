@@ -1,0 +1,226 @@
+package hwgc
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// These tests assert the checkpoint/restore contract over the same matrix
+// as the fast-forward determinism suite: a run restored from a snapshot
+// taken at ANY cycle finishes with Stats and heap image bit-identical to
+// the uninterrupted run.
+
+// runUninterrupted collects a fresh workload heap end to end.
+func runUninterrupted(t *testing.T, bench string, cfg Config) (Stats, *Heap) {
+	t.Helper()
+	h, err := BuildWorkload(bench, 1, 42)
+	if err != nil {
+		t.Fatalf("BuildWorkload(%s): %v", bench, err)
+	}
+	st, err := Collect(h, cfg)
+	if err != nil {
+		t.Fatalf("Collect(%s): %v", bench, err)
+	}
+	return st, h
+}
+
+// checkRestoredRun suspends a fresh run at checkpointCycle, round-trips it
+// through snapshot bytes, and checks the resumed outcome against the
+// uninterrupted reference.
+func checkRestoredRun(t *testing.T, bench string, cfg Config, checkpointCycle int64, want Stats, wantHeap *Heap) {
+	t.Helper()
+	h, err := BuildWorkload(bench, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := StartCollection(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := col.StepCycles(checkpointCycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done {
+		t.Fatalf("collection finished before checkpoint cycle %d", checkpointCycle)
+	}
+	snap, err := col.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ResumeCollection(snap)
+	if err != nil {
+		t.Fatalf("restore at cycle %d: %v", checkpointCycle, err)
+	}
+	got, err := restored.Finish()
+	if err != nil {
+		t.Fatalf("resume from cycle %d: %v", checkpointCycle, err)
+	}
+	if diffs := want.DiffFields(&got); len(diffs) > 0 {
+		t.Errorf("restored from cycle %d: stats differ: %v", checkpointCycle, diffs)
+	}
+	gh := restored.Heap()
+	if !reflect.DeepEqual(wantHeap.Mem(), gh.Mem()) {
+		t.Errorf("restored from cycle %d: heap images differ", checkpointCycle)
+	}
+	if !reflect.DeepEqual(wantHeap.Roots(), gh.Roots()) {
+		t.Errorf("restored from cycle %d: root sets differ", checkpointCycle)
+	}
+	if wantHeap.AllocPtr() != gh.AllocPtr() {
+		t.Errorf("restored from cycle %d: alloc pointer %d != %d", checkpointCycle, gh.AllocPtr(), wantHeap.AllocPtr())
+	}
+}
+
+// checkpointCycles picks deterministic pseudo-random checkpoint cycles
+// strictly inside the collection's cycle loop.
+func checkpointCycles(rng *rand.Rand, loopCycles int64, n int) []int64 {
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, 1+rng.Int63n(loopCycles-1))
+	}
+	return out
+}
+
+// TestSnapshotRestoreMatrix sweeps every workload over the paper's core
+// counts with random checkpoint cycles.
+func TestSnapshotRestoreMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, bench := range Workloads() {
+		for _, cores := range PaperCoreCounts {
+			bench, cores := bench, cores
+			seed := rng.Int63()
+			t.Run(fmt.Sprintf("%s/cores=%d", bench, cores), func(t *testing.T) {
+				t.Parallel()
+				if testing.Short() && cores != 1 && cores != 16 {
+					t.Skip("short mode: endpoints only")
+				}
+				cfg := Config{Cores: cores}
+				want, wantHeap := runUninterrupted(t, bench, cfg)
+				loop := want.Cycles - cfg.WithDefaults().ShutdownCycles
+				rng := rand.New(rand.NewSource(seed))
+				n := 3
+				if testing.Short() {
+					n = 1
+				}
+				for _, at := range checkpointCycles(rng, loop, n) {
+					checkRestoredRun(t, bench, cfg, at, want, wantHeap)
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotRestoreConfigVariants exercises the config variants whose
+// extra machinery lives in the snapshot (stride table, header cache, bank
+// timers, FIFO edge sizes, long latency windows).
+func TestSnapshotRestoreConfigVariants(t *testing.T) {
+	variants := []struct {
+		name string
+		cfg  Config
+	}{
+		{"extra-latency", Config{ExtraMemLatency: 20}},
+		{"stride", Config{StrideWords: 8}},
+		{"header-cache", Config{HeaderCacheLines: 16}},
+		{"tiny-fifo", Config{FIFOCapacity: 2}},
+		{"no-fifo", Config{DisableFIFO: true}},
+		{"banks", Config{MemBanks: 4}},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, v := range variants {
+		for _, cores := range []int{1, 4, 16} {
+			v, cores := v, cores
+			seed := rng.Int63()
+			t.Run(fmt.Sprintf("%s/cores=%d", v.name, cores), func(t *testing.T) {
+				t.Parallel()
+				cfg := v.cfg
+				cfg.Cores = cores
+				want, wantHeap := runUninterrupted(t, "javacc", cfg)
+				loop := want.Cycles - cfg.WithDefaults().ShutdownCycles
+				rng := rand.New(rand.NewSource(seed))
+				for _, at := range checkpointCycles(rng, loop, 2) {
+					checkRestoredRun(t, "javacc", cfg, at, want, wantHeap)
+				}
+			})
+		}
+	}
+}
+
+// TestRequestCollectionResponseBytes is the serving-tier contract: a
+// request collection that is checkpointed, serialized, and resumed from the
+// snapshot in a "different process" must produce a response byte-identical
+// to the uninterrupted NewCollectResponse encoding.
+func TestRequestCollectionResponseBytes(t *testing.T) {
+	for _, verify := range []bool{false, true} {
+		t.Run(fmt.Sprintf("verify=%v", verify), func(t *testing.T) {
+			req := CollectRequest{Bench: "search", Config: Config{Cores: 4}, Verify: verify}
+			want, err := NewCollectResponse(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wantBuf bytes.Buffer
+			if err := want.Encode(&wantBuf); err != nil {
+				t.Fatal(err)
+			}
+
+			rc, err := StartCollectRequest(CollectRequest{Bench: "search", Config: Config{Cores: 4}, Verify: verify})
+			if err != nil {
+				t.Fatal(err)
+			}
+			done, err := rc.StepCycles(300)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				t.Fatal("collection finished before the checkpoint")
+			}
+			snap, err := rc.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Drop rc: the resumed side starts from the snapshot alone.
+			resumed, err := ResumeCollectRequest(CollectRequest{Bench: "search", Config: Config{Cores: 4}, Verify: verify}, snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.Key() != want.Key {
+				t.Fatalf("key mismatch: %s != %s", resumed.Key(), want.Key)
+			}
+			resp, err := resumed.Response()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var gotBuf bytes.Buffer
+			if err := resp.Encode(&gotBuf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+				t.Fatalf("response bytes differ:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s", wantBuf.String(), gotBuf.String())
+			}
+		})
+	}
+}
+
+// TestResumeCollectRequestRejectsMismatch checks the config cross-check: a
+// snapshot taken under one configuration must not resume under another.
+func TestResumeCollectRequestRejectsMismatch(t *testing.T) {
+	rc, err := StartCollectRequest(CollectRequest{Bench: "jlisp", Config: Config{Cores: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.StepCycles(100); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := rc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeCollectRequest(CollectRequest{Bench: "jlisp", Config: Config{Cores: 4}}, snap); err == nil {
+		t.Fatal("resume with a different core count should fail")
+	}
+	if _, err := ResumeCollectRequest(CollectRequest{Bench: "jlisp", Config: Config{Cores: 2}}, snap[:len(snap)/2]); err == nil {
+		t.Fatal("resume from truncated snapshot should fail")
+	}
+}
