@@ -14,11 +14,18 @@
 // identity is checked only for fully-successful batches, whose encodings
 // are deterministic.
 //
+// With -async, each logical request is instead submitted as a durable job
+// (POST /v1/jobs, optionally with -class) and its result polled every
+// -poll until done. The report then carries two separate distributions:
+// submit latency (how fast the server durably accepts work) and end-to-end
+// latency (submit through completed result). -async excludes -batch.
+//
 // Usage:
 //
 //	gcload [-url http://localhost:8080] [-n 1000] [-c 100] [-qps 0]
 //	       [-bench jlisp] [-cores 8] [-scale 1] [-distinct 8]
-//	       [-sweep] [-batch 0] [-timeout 30s]
+//	       [-sweep] [-batch 0] [-async] [-class C] [-poll 25ms]
+//	       [-timeout 30s]
 package main
 
 import (
@@ -49,6 +56,9 @@ type loadConfig struct {
 	distinct int
 	sweep    bool
 	batch    int
+	async    bool
+	class    string
+	poll     time.Duration
 	timeout  time.Duration
 }
 
@@ -64,7 +74,10 @@ func main() {
 	flag.IntVar(&cfg.distinct, "distinct", 8, "distinct seed variants to rotate through")
 	flag.BoolVar(&cfg.sweep, "sweep", false, "POST /v1/sweep instead of /v1/collect")
 	flag.IntVar(&cfg.batch, "batch", 0, "POST /v1/batch with this many mixed items per request (0 = single requests)")
-	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request client timeout")
+	flag.BoolVar(&cfg.async, "async", false, "submit jobs via POST /v1/jobs and poll each result to completion")
+	flag.StringVar(&cfg.class, "class", "", "job class for -async submissions (empty = server default)")
+	flag.DurationVar(&cfg.poll, "poll", 25*time.Millisecond, "result poll interval in -async mode")
+	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request client timeout (in -async mode also the per-job completion deadline)")
 	flag.Parse()
 
 	rep, err := runLoad(cfg)
@@ -92,6 +105,11 @@ type report struct {
 	itemsOK     int
 	items429    int
 	itemsFailed int // any per-item status other than 200 and 429
+
+	// Async mode (-async): submit-only latencies, kept separate from the
+	// end-to-end latencies above so queueing/service time is not conflated
+	// with how fast the server durably accepts work.
+	submitLats []time.Duration
 }
 
 func (r *report) failed() bool {
@@ -109,18 +127,21 @@ func (r *report) failed() bool {
 	return false
 }
 
-func (r *report) percentile(q float64) time.Duration {
-	if len(r.latencies) == 0 {
+func (r *report) percentile(q float64) time.Duration { return percentileOf(r.latencies, q) }
+
+// percentileOf reads the q-quantile from an ascending-sorted sample.
+func percentileOf(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
 		return 0
 	}
-	i := int(q*float64(len(r.latencies))) - 1
+	i := int(q*float64(len(lats))) - 1
 	if i < 0 {
 		i = 0
 	}
-	if i >= len(r.latencies) {
-		i = len(r.latencies) - 1
+	if i >= len(lats) {
+		i = len(lats) - 1
 	}
-	return r.latencies[i]
+	return lats[i]
 }
 
 func (r *report) print(w io.Writer) {
@@ -130,6 +151,13 @@ func (r *report) print(w io.Writer) {
 	}
 	if r.cfg.batch > 0 {
 		endpoint = fmt.Sprintf("/v1/batch (%d items)", r.cfg.batch)
+	}
+	if r.cfg.async {
+		endpoint = "/v1/jobs (async"
+		if r.cfg.class != "" {
+			endpoint += " class=" + r.cfg.class
+		}
+		endpoint += ")"
 	}
 	fmt.Fprintf(w, "gcload: POST %s bench=%s cores=%d scale=%d distinct-seeds=%d\n",
 		endpoint, r.cfg.bench, r.cfg.cores, r.cfg.scale, r.cfg.distinct)
@@ -161,8 +189,19 @@ func (r *report) print(w io.Writer) {
 	} else {
 		fmt.Fprintf(w, "identity OK: repeated requests returned byte-identical responses\n")
 	}
+	if len(r.submitLats) > 0 {
+		fmt.Fprintf(w, "submit   p50 %s  p95 %s  p99 %s  max %s\n",
+			percentileOf(r.submitLats, 0.50).Round(time.Microsecond),
+			percentileOf(r.submitLats, 0.95).Round(time.Microsecond),
+			percentileOf(r.submitLats, 0.99).Round(time.Microsecond),
+			r.submitLats[len(r.submitLats)-1].Round(time.Microsecond))
+	}
 	if len(r.latencies) > 0 {
-		fmt.Fprintf(w, "latency  p50 %s  p95 %s  p99 %s  max %s\n",
+		label := "latency "
+		if r.cfg.async {
+			label = "e2e     "
+		}
+		fmt.Fprintf(w, "%s p50 %s  p95 %s  p99 %s  max %s\n", label,
 			r.percentile(0.50).Round(time.Microsecond),
 			r.percentile(0.95).Round(time.Microsecond),
 			r.percentile(0.99).Round(time.Microsecond),
@@ -176,6 +215,9 @@ func (cfg *loadConfig) body(v int) ([]byte, error) {
 	if cfg.batch > 0 {
 		return cfg.batchBody(v)
 	}
+	if cfg.async {
+		return cfg.asyncBody(v)
+	}
 	seed := int64(v + 1)
 	if cfg.sweep {
 		req := hwgc.SweepRequest{Bench: cfg.bench, Scale: cfg.scale, Seed: seed,
@@ -185,6 +227,33 @@ func (cfg *loadConfig) body(v int) ([]byte, error) {
 	req := hwgc.CollectRequest{Bench: cfg.bench, Scale: cfg.scale, Seed: seed,
 		Config: hwgc.Config{Cores: cfg.cores}}
 	return req.CanonicalJSON()
+}
+
+// asyncBody wraps the canonical request for seed variant v in the
+// POST /v1/jobs submit envelope. The inner request is canonicalized first
+// so every worker hitting the same variant submits identical bytes and
+// dedupes onto one job.
+func (cfg *loadConfig) asyncBody(v int) ([]byte, error) {
+	seed := int64(v + 1)
+	sub := struct {
+		Collect *hwgc.CollectRequest `json:",omitempty"`
+		Sweep   *hwgc.SweepRequest   `json:",omitempty"`
+		Class   string               `json:",omitempty"`
+	}{Class: cfg.class}
+	if cfg.sweep {
+		sub.Sweep = &hwgc.SweepRequest{Bench: cfg.bench, Scale: cfg.scale, Seed: seed,
+			Config: hwgc.Config{Cores: cfg.cores}}
+		if _, err := sub.Sweep.Key(); err != nil {
+			return nil, err
+		}
+	} else {
+		sub.Collect = &hwgc.CollectRequest{Bench: cfg.bench, Scale: cfg.scale, Seed: seed,
+			Config: hwgc.Config{Cores: cfg.cores}}
+		if _, err := sub.Collect.Key(); err != nil {
+			return nil, err
+		}
+	}
+	return json.Marshal(sub)
 }
 
 // batchBody builds the mixed collect/sweep batch for seed variant v: every
@@ -229,12 +298,24 @@ func runLoad(cfg loadConfig) (*report, error) {
 	if cfg.batch < 0 || cfg.batch > hwgc.MaxBatchItems {
 		return nil, fmt.Errorf("-batch must be in [0, %d]", hwgc.MaxBatchItems)
 	}
+	if cfg.async && cfg.batch > 0 {
+		return nil, fmt.Errorf("-async and -batch are mutually exclusive")
+	}
+	if cfg.class != "" && !cfg.async {
+		return nil, fmt.Errorf("-class requires -async")
+	}
+	if cfg.async && cfg.poll <= 0 {
+		return nil, fmt.Errorf("-async needs -poll > 0")
+	}
 	endpoint := cfg.url + "/v1/collect"
 	if cfg.sweep {
 		endpoint = cfg.url + "/v1/sweep"
 	}
 	if cfg.batch > 0 {
 		endpoint = cfg.url + "/v1/batch"
+	}
+	if cfg.async {
+		endpoint = cfg.url + "/v1/jobs"
 	}
 	bodies := make([][]byte, cfg.distinct)
 	for v := range bodies {
@@ -294,6 +375,10 @@ func runLoad(cfg loadConfig) (*report, error) {
 					<-pace
 				}
 				v := i % cfg.distinct
+				if cfg.async {
+					asyncRequest(cfg, client, endpoint, bodies[v], v, rep, &mu, firstSums)
+					continue
+				}
 				t0 := time.Now()
 				resp, err := client.Post(endpoint, "application/json", bytes.NewReader(bodies[v]))
 				if err != nil {
@@ -354,5 +439,83 @@ func runLoad(cfg loadConfig) (*report, error) {
 	wg.Wait()
 	rep.elapsed = time.Since(start)
 	sort.Slice(rep.latencies, func(a, b int) bool { return rep.latencies[a] < rep.latencies[b] })
+	sort.Slice(rep.submitLats, func(a, b int) bool { return rep.submitLats[a] < rep.submitLats[b] })
 	return rep, nil
+}
+
+// asyncRequest performs one -async exchange: durably submit the job, then
+// poll its result endpoint until the job is terminal or the per-job
+// deadline passes. The submit latency and the end-to-end latency go into
+// separate distributions.
+func asyncRequest(cfg loadConfig, client *http.Client, endpoint string, body []byte, v int,
+	rep *report, mu *sync.Mutex, firstSums map[int][32]byte) {
+	fail := func() {
+		mu.Lock()
+		rep.transport++
+		mu.Unlock()
+	}
+	t0 := time.Now()
+	resp, err := client.Post(endpoint, "application/json", bytes.NewReader(body))
+	if err != nil {
+		fail()
+		return
+	}
+	_, rerr := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	submitLat := time.Since(t0)
+	if rerr != nil {
+		fail()
+		return
+	}
+	loc := resp.Header.Get("Location")
+	accepted := resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted
+	if !accepted || loc == "" {
+		// Rejected before a job existed (400, 503, ...): the submit status
+		// is the final outcome of this logical request.
+		mu.Lock()
+		rep.submitLats = append(rep.submitLats, submitLat)
+		rep.statuses[resp.StatusCode]++
+		mu.Unlock()
+		return
+	}
+	resultURL := cfg.url + loc + "/result"
+	deadline := t0.Add(cfg.timeout)
+	for {
+		r2, err := client.Get(resultURL)
+		if err != nil {
+			fail()
+			return
+		}
+		data, rerr := io.ReadAll(r2.Body)
+		r2.Body.Close()
+		if rerr != nil {
+			fail()
+			return
+		}
+		if r2.StatusCode != http.StatusAccepted {
+			e2e := time.Since(t0)
+			mu.Lock()
+			rep.submitLats = append(rep.submitLats, submitLat)
+			rep.statuses[r2.StatusCode]++
+			rep.bytes += int64(len(data))
+			rep.latencies = append(rep.latencies, e2e)
+			if r2.StatusCode == http.StatusOK {
+				sum := sha256.Sum256(data)
+				if prev, ok := firstSums[v]; !ok {
+					firstSums[v] = sum
+				} else if prev != sum {
+					rep.mismatch++
+				}
+			}
+			mu.Unlock()
+			return
+		}
+		if time.Now().After(deadline) {
+			// The job outlived the deadline; count it like a timed-out
+			// request rather than hanging the worker forever.
+			fail()
+			return
+		}
+		time.Sleep(cfg.poll)
+	}
 }

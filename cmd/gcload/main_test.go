@@ -15,7 +15,10 @@ import (
 // outcome is deliberate 429 backpressure, and repeated requests must come
 // back byte-identical.
 func TestLoadAgainstLiveServer(t *testing.T) {
-	srv := server.New(server.Options{Workers: 4, QueueDepth: 64})
+	srv, err := server.New(server.Options{Workers: 4, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv.Start()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -66,7 +69,10 @@ func TestLoadAgainstLiveServer(t *testing.T) {
 // than backpressure are errors, and fully-successful batches must be
 // byte-identical across repeats.
 func TestBatchLoadAgainstLiveServer(t *testing.T) {
-	srv := server.New(server.Options{Workers: 4, QueueDepth: 64})
+	srv, err := server.New(server.Options{Workers: 4, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv.Start()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -105,6 +111,60 @@ func TestBatchLoadAgainstLiveServer(t *testing.T) {
 	}
 }
 
+// TestAsyncLoadAgainstLiveServer drives the -async mode end to end against
+// a jobs-enabled gcserved: every logical request must submit, poll and
+// complete with a byte-identical result, and the report must carry the two
+// separate latency distributions.
+func TestAsyncLoadAgainstLiveServer(t *testing.T) {
+	srv, err := server.New(server.Options{Workers: 2, JobsDir: t.TempDir(), JobRunners: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("server drain: %v", err)
+		}
+	}()
+
+	rep, err := runLoad(loadConfig{
+		url:      ts.URL,
+		requests: 60,
+		workers:  20,
+		bench:    "jlisp",
+		cores:    2,
+		scale:    1,
+		distinct: 4,
+		async:    true,
+		poll:     2 * time.Millisecond,
+		timeout:  60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.failed() {
+		rep.print(testWriter{t})
+		t.Fatal("async load run reported failure")
+	}
+	if rep.statuses[200] != 60 {
+		t.Fatalf("want 60 completed jobs, got %v (transport %d)", rep.statuses, rep.transport)
+	}
+	if rep.mismatch != 0 {
+		t.Fatalf("%d job results were not byte-identical across repeats", rep.mismatch)
+	}
+	if len(rep.submitLats) != 60 || len(rep.latencies) != 60 {
+		t.Fatalf("recorded %d submit and %d e2e latencies, want 60 each",
+			len(rep.submitLats), len(rep.latencies))
+	}
+	if percentileOf(rep.submitLats, 0.5) <= 0 || rep.percentile(0.5) <= 0 {
+		t.Fatal("implausible zero medians")
+	}
+}
+
 func TestRunLoadValidation(t *testing.T) {
 	if _, err := runLoad(loadConfig{requests: 0, workers: 1}); err == nil {
 		t.Error("zero requests accepted")
@@ -117,6 +177,18 @@ func TestRunLoadValidation(t *testing.T) {
 	}
 	if _, err := runLoad(loadConfig{requests: 1, workers: 1, bench: "no-such-bench", batch: 4}); err == nil {
 		t.Error("unknown benchmark accepted in batch mode")
+	}
+	if _, err := runLoad(loadConfig{requests: 1, workers: 1, bench: "jlisp", async: true, batch: 4, poll: time.Millisecond}); err == nil {
+		t.Error("-async with -batch accepted")
+	}
+	if _, err := runLoad(loadConfig{requests: 1, workers: 1, bench: "jlisp", class: "interactive"}); err == nil {
+		t.Error("-class without -async accepted")
+	}
+	if _, err := runLoad(loadConfig{requests: 1, workers: 1, bench: "jlisp", async: true}); err == nil {
+		t.Error("-async with zero -poll accepted")
+	}
+	if _, err := runLoad(loadConfig{requests: 1, workers: 1, bench: "no-such-bench", async: true, poll: time.Millisecond}); err == nil {
+		t.Error("unknown benchmark accepted in async mode")
 	}
 }
 

@@ -13,6 +13,7 @@
 //	gcserved [-addr :8080] [-workers N] [-queue 64] [-cache-entries 1024]
 //	         [-cache-mb 64] [-timeout 60s] [-max-scale 64] [-retry-after 1s]
 //	         [-checkpoint-dir DIR] [-checkpoint-cycles 200000]
+//	         [-jobs-dir DIR] [-job-classes interactive:8,batch:1] [-job-runners 2]
 //
 // Endpoints:
 //
@@ -22,6 +23,13 @@
 //	GET  /v1/workloads
 //	GET  /healthz
 //	GET  /metrics
+//
+// With -jobs-dir set, the durable async job tier is mounted as well:
+// POST /v1/jobs, GET /v1/jobs/{id}[/result|/events], DELETE /v1/jobs/{id}.
+// Submissions, transitions and results are WAL-logged in -jobs-dir, running
+// jobs checkpoint every -checkpoint-cycles and yield to higher-priority
+// classes at those boundaries, and a restarted server resumes unfinished
+// jobs with byte-identical results.
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"hwgc/internal/jobs"
 	"hwgc/internal/server"
 )
 
@@ -67,6 +76,9 @@ func parseOptions(args []string) (addr string, opts server.Options, drain time.D
 		drainFlag    = fs.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
 		ckptDir      = fs.String("checkpoint-dir", "", "directory for simulation checkpoints; enables preempt-on-shutdown and crash recovery")
 		ckptCycles   = fs.Int64("checkpoint-cycles", 0, "clock cycles between checkpoints (0 = default 200000)")
+		jobsDir      = fs.String("jobs-dir", "", "directory for the durable async job tier (WAL + job checkpoints); enables /v1/jobs")
+		jobClasses   = fs.String("job-classes", "", "async job priority classes as name:weight,... (default interactive:8,batch:1)")
+		jobRunners   = fs.Int("job-runners", 0, "async job runners (0 = default 2)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return "", server.Options{}, 0, err
@@ -88,6 +100,20 @@ func parseOptions(args []string) (addr string, opts server.Options, drain time.D
 			return "", server.Options{}, 0, fmt.Errorf("-checkpoint-dir: %v", err)
 		}
 	}
+	if *jobClasses != "" && *jobsDir == "" {
+		return "", server.Options{}, 0, fmt.Errorf("-job-classes requires -jobs-dir")
+	}
+	if *jobRunners < 0 {
+		return "", server.Options{}, 0, fmt.Errorf("-job-runners must be nonnegative, got %d", *jobRunners)
+	}
+	if *jobRunners > 0 && *jobsDir == "" {
+		return "", server.Options{}, 0, fmt.Errorf("-job-runners requires -jobs-dir")
+	}
+	if *jobClasses != "" {
+		if _, err := jobs.ParseClasses(*jobClasses); err != nil {
+			return "", server.Options{}, 0, fmt.Errorf("-job-classes: %v", err)
+		}
+	}
 	return *addrFlag, server.Options{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -98,11 +124,17 @@ func parseOptions(args []string) (addr string, opts server.Options, drain time.D
 		RetryAfter:       *retryAfter,
 		CheckpointDir:    *ckptDir,
 		CheckpointCycles: *ckptCycles,
+		JobsDir:          *jobsDir,
+		JobClasses:       *jobClasses,
+		JobRunners:       *jobRunners,
 	}, *drainFlag, nil
 }
 
 func run(addr string, opts server.Options, drain time.Duration) error {
-	srv := server.New(opts)
+	srv, err := server.New(opts)
+	if err != nil {
+		return err
+	}
 	srv.Start()
 
 	hs := &http.Server{

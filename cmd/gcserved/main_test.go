@@ -51,7 +51,10 @@ func TestParseOptionsRetryAfterWiring(t *testing.T) {
 		// Boot a server with a full queue so a POST gets a real 429.
 		opts.Workers = 1
 		opts.QueueDepth = 1
-		srv := server.New(opts) // never Start()ed: the one queue slot fills and stays full
+		srv, err := server.New(opts) // never Start()ed: the one queue slot fills and stays full
+		if err != nil {
+			t.Fatal(err)
+		}
 		body := []byte(`{"Bench":"jlisp","Config":{}}`)
 		first := httptest.NewRecorder()
 		done := make(chan struct{})

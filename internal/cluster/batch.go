@@ -84,7 +84,7 @@ func (f *Fleet) runBatchItem(ctx context.Context, i int, it *hwgc.BatchItem) hwg
 
 	ictx, cancel := context.WithTimeout(ctx, f.opts.Timeout)
 	defer cancel()
-	res, err := f.do(ictx, path, key, body)
+	res, err := f.do(ictx, http.MethodPost, path, key, body)
 	switch {
 	case err == nil && res.status == http.StatusOK:
 		return hwgc.BatchItemResult{Index: i, Key: key, Status: http.StatusOK, Body: res.body}

@@ -20,7 +20,10 @@ import (
 // listener and returns both handles.
 func startGCServed(t *testing.T) (*server.Server, *httptest.Server) {
 	t.Helper()
-	s := server.New(server.Options{Workers: 2, Timeout: 30 * time.Second})
+	s, err := server.New(server.Options{Workers: 2, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {

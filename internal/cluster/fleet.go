@@ -14,6 +14,10 @@
 //     after a latency percentile to cut tail latency;
 //   - scatter-gather batching (POST /v1/batch) with bounded per-backend
 //     concurrency and per-item partial-failure reporting;
+//   - async job routing (/v1/jobs*): submissions and by-id lookups hash to
+//     the same ring owner as the equivalent synchronous request (the job ID
+//     is the content key), including a streaming SSE pass-through for
+//     /v1/jobs/{id}/events;
 //   - fleet-level Prometheus metrics on /metrics.
 //
 // The design follows the paper's synchronization discipline at fleet
@@ -202,6 +206,8 @@ func New(opts Options) (*Fleet, error) {
 	f.mux.HandleFunc("/v1/collect", f.handleCollect)
 	f.mux.HandleFunc("/v1/sweep", f.handleSweep)
 	f.mux.HandleFunc("/v1/batch", f.handleBatch)
+	f.mux.HandleFunc("/v1/jobs", f.handleJobs)
+	f.mux.HandleFunc("/v1/jobs/", f.handleJobByID)
 	f.mux.HandleFunc("/v1/workloads", f.handleWorkloads)
 	f.mux.HandleFunc("/healthz", f.handleHealthz)
 	f.mux.HandleFunc("/metrics", f.handleMetrics)
@@ -282,13 +288,11 @@ type sendResult struct {
 	hedged  bool // a hedge was launched during this exchange
 }
 
-// send performs one exchange against b. A nil body means GET.
-func (f *Fleet) send(ctx context.Context, b *Backend, path string, body []byte) sendResult {
+// send performs one exchange against b with the given HTTP method.
+func (f *Fleet) send(ctx context.Context, b *Backend, method, path string, body []byte) sendResult {
 	b.requests.Add(1)
-	method := http.MethodGet
 	var rd io.Reader
 	if body != nil {
-		method = http.MethodPost
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, b.baseURL+path, rd)
@@ -324,8 +328,12 @@ func terminal(r sendResult) bool {
 
 // do routes one request for key across the ring replicas under the retry
 // policy. It returns the terminal result, or the last observed result plus
-// a routing error when every attempt failed.
-func (f *Fleet) do(ctx context.Context, path, key string, body []byte) (sendResult, error) {
+// a routing error when every attempt failed. Retried methods must be
+// idempotent on the backend — true for everything the fleet proxies:
+// simulations are deterministic and content-addressed, job submission
+// dedupes on the content key, and cancellation of an already-terminal job
+// is an authoritative 409.
+func (f *Fleet) do(ctx context.Context, method, path, key string, body []byte) (sendResult, error) {
 	replicas := f.replicasFor(key)
 	if len(replicas) == 0 {
 		return sendResult{}, ErrNoBackends
@@ -360,12 +368,12 @@ func (f *Fleet) do(ctx context.Context, path, key string, body []byte) (sendResu
 			start := time.Now()
 			var res sendResult
 			if sends == 1 && f.hedgeDelay() > 0 && len(replicas) > 1 {
-				res = f.hedgedSend(ctx, replicas, i, path, body)
+				res = f.hedgedSend(ctx, replicas, i, method, path, body)
 				if res.hedged {
 					sends++ // a hedge spends one attempt from the budget
 				}
 			} else {
-				res = f.send(ctx, b, path, body)
+				res = f.send(ctx, b, method, path, body)
 			}
 			f.metrics.ObserveLatency(time.Since(start))
 			last, haveLast = res, true
@@ -414,13 +422,13 @@ func (f *Fleet) do(ctx context.Context, path, key string, body []byte) (sendResu
 // hedgedSend races the first attempt against one hedge launched after the
 // hedge delay. The primary's breaker slot is already held by the caller;
 // the hedge acquires (and releases) its own.
-func (f *Fleet) hedgedSend(ctx context.Context, replicas []*Backend, primaryIdx int, path string, body []byte) sendResult {
+func (f *Fleet) hedgedSend(ctx context.Context, replicas []*Backend, primaryIdx int, method, path string, body []byte) sendResult {
 	primary := replicas[primaryIdx]
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	results := make(chan sendResult, 2)
-	go func() { results <- f.send(hctx, primary, path, body) }()
+	go func() { results <- f.send(hctx, primary, method, path, body) }()
 
 	delay := f.hedgeDelay()
 	timer := time.NewTimer(delay)
@@ -450,7 +458,7 @@ func (f *Fleet) hedgedSend(ctx context.Context, replicas []*Backend, primaryIdx 
 		launched = true
 		hedgeBackend.hedges.Add(1)
 		f.metrics.hedges.Add(1)
-		go func() { results <- f.send(hctx, hedgeBackend, path, body) }()
+		go func() { results <- f.send(hctx, hedgeBackend, method, path, body) }()
 	}
 
 	// Two sends racing. The caller settles the breaker of whichever result
@@ -596,7 +604,7 @@ func (f *Fleet) probe(b *Backend) (bool, error) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	res := f.send(ctx, b, "/healthz", nil)
+	res := f.send(ctx, b, http.MethodGet, "/healthz", nil)
 	if res.err != nil {
 		return false, res.err
 	}

@@ -84,7 +84,7 @@ func (f *Fleet) proxyRequest(w http.ResponseWriter, r *http.Request, canonicaliz
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), f.opts.Timeout)
 	defer cancel()
-	res, err := f.do(ctx, r.URL.Path, key, canon)
+	res, err := f.do(ctx, http.MethodPost, r.URL.Path, key, canon)
 	f.finishProxy(w, res, err)
 }
 
@@ -148,7 +148,7 @@ func (f *Fleet) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), f.opts.Timeout)
 	defer cancel()
-	res, err := f.do(ctx, "/v1/workloads", "workloads", nil)
+	res, err := f.do(ctx, http.MethodGet, "/v1/workloads", "workloads", nil)
 	f.finishProxy(w, res, err)
 }
 

@@ -1,0 +1,62 @@
+package jobs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// BenchmarkJobScheduler measures the pure scheduling cost of the stride
+// scheduler — enqueue, fair-share pick, and service charge for a mixed
+// interactive/batch backlog — without running any simulation work.
+//
+// Besides ns/op it reports two deterministic metrics that the benchdiff
+// gate pins exactly:
+//
+//   - sched-picks: picks completed per op (the drained backlog size);
+//   - sched-order-hash: an FNV-32a hash of the class-name pick sequence.
+//     The scheduling discipline is deterministic (stride + aging with
+//     deterministic tie-breaks), so any change to the pick order — an
+//     altered weight rule, aging constant, or tie-break — shifts this hash
+//     and trips the gate even when ns/op stays flat.
+func BenchmarkJobScheduler(b *testing.B) {
+	const perClass = 256
+	classes := []ClassConfig{
+		{Name: "interactive", Weight: 8},
+		{Name: "batch", Weight: 1},
+	}
+
+	var orderHash uint32
+	var picks int
+	for i := 0; i < b.N; i++ {
+		s, err := NewScheduler(classes, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// A full backlog of both classes before the first pick, so every
+		// pick exercises the contended cross-class decision.
+		for n := 0; n < perClass; n++ {
+			for _, c := range classes {
+				j := &job{ID: fmt.Sprintf("%s-%d", c.Name, n), Class: c.Name, State: StateQueued}
+				if err := s.Enqueue(j); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		h := fnv.New32a()
+		picks = 0
+		for s.Backlog() > 0 {
+			j := s.Next()
+			if j == nil {
+				b.Fatal("scheduler closed with backlog remaining")
+			}
+			_, _ = h.Write([]byte(j.Class))
+			s.Charge(j.Class)
+			picks++
+		}
+		s.Close()
+		orderHash = h.Sum32()
+	}
+	b.ReportMetric(float64(picks), "sched-picks")
+	b.ReportMetric(float64(orderHash), "sched-order-hash")
+}

@@ -1,0 +1,91 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+// eventLog is one job's lifecycle event history plus its live subscribers.
+// The history is bounded: sweep jobs emit one event per point transition
+// and preemption, so the cap comfortably covers MaxSweepPoints plus
+// pathological preemption storms; older events are dropped from replay (a
+// subscriber still sees the job's current state because the newest events
+// are kept).
+type eventLog struct {
+	mu    sync.Mutex
+	seq   int64
+	ring  []Event // newest maxEvents, in order
+	subs  map[chan Event]struct{}
+	done  bool // terminal event emitted: new subscribers get a closed stream
+	clock func() time.Time
+}
+
+// maxEvents bounds the replay history per job.
+const maxEvents = 256
+
+// subBuffer is each subscriber's channel capacity. A subscriber that stops
+// draining (a stalled SSE client) loses events rather than blocking the
+// runner: delivery is best-effort, the authoritative record is the WAL.
+const subBuffer = 32
+
+func newEventLog(clock func() time.Time) *eventLog {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &eventLog{subs: make(map[chan Event]struct{}), clock: clock}
+}
+
+// emit records one lifecycle event and fans it out to subscribers. Terminal
+// events close every subscriber channel after delivery.
+func (l *eventLog) emit(state State, point int, cycle int64, errMsg string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	ev := Event{Seq: l.seq, Time: l.clock(), State: state, Point: point, Cycle: cycle, Error: errMsg}
+	l.ring = append(l.ring, ev)
+	if len(l.ring) > maxEvents {
+		l.ring = l.ring[len(l.ring)-maxEvents:]
+	}
+	for ch := range l.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop, the WAL is the record
+		}
+	}
+	if state.Terminal() {
+		l.done = true
+		for ch := range l.subs {
+			close(ch)
+			delete(l.subs, ch)
+		}
+	}
+}
+
+// subscribe returns the replayable history and a live channel (nil when the
+// job is already terminal — the history then already ends in the terminal
+// event). Call unsubscribe when done.
+func (l *eventLog) subscribe() ([]Event, chan Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	history := append([]Event(nil), l.ring...)
+	if l.done {
+		return history, nil
+	}
+	ch := make(chan Event, subBuffer)
+	l.subs[ch] = struct{}{}
+	return history, ch
+}
+
+// unsubscribe detaches ch. Safe to call after a terminal event already
+// closed it.
+func (l *eventLog) unsubscribe(ch chan Event) {
+	if ch == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.subs[ch]; ok {
+		delete(l.subs, ch)
+		close(ch)
+	}
+}

@@ -144,9 +144,12 @@ func (s *Server) runCheckpointed(req hwgc.CollectRequest) ([]byte, error) {
 	var rc *hwgc.RequestCollection
 	if _, snap, ok, err := s.ckpt.load(key); err == nil && ok {
 		if rc, err = hwgc.ResumeCollectRequest(req, snap); err != nil {
-			// A stale or corrupt checkpoint must not wedge the key: fall
-			// back to a fresh run and let the next save overwrite it.
+			// A stale or corrupt checkpoint must not wedge the key: reclaim
+			// the file and fall back to a fresh run.
 			rc = nil
+			if s.ckpt.remove(key) == nil {
+				s.metrics.checkpointsReclaimed.Add(1)
+			}
 		} else {
 			s.metrics.checkpointsResumed.Add(1)
 		}
@@ -196,19 +199,48 @@ func (s *Server) runCheckpointed(req hwgc.CollectRequest) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-// recoverCheckpoints scans the checkpoint directory and enqueues one
-// background job per orphaned checkpoint, so work preempted by the previous
-// process finishes (and lands in the cache) without waiting for the client
-// to retry. A full queue is not an error — the remaining checkpoints are
-// still picked up on demand when their requests come back.
+// sweepTemps deletes temp files a crash mid-save left behind, returning how
+// many were reclaimed.
+func (c *checkpointStore) sweepTemps() int {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if e.Type().IsRegular() && strings.HasPrefix(e.Name(), ".ckpt-") {
+			if os.Remove(filepath.Join(c.dir, e.Name())) == nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// recoverCheckpoints scans the checkpoint directory, garbage-collects what
+// cannot be resumed (crash-orphaned temp files, unreadable checkpoints),
+// and enqueues one background job per healthy orphaned checkpoint, so work
+// preempted by the previous process finishes (and lands in the cache)
+// without waiting for the client to retry. A full queue is not an error —
+// the remaining checkpoints are still picked up on demand when their
+// requests come back.
 func (s *Server) recoverCheckpoints() {
+	s.metrics.checkpointsReclaimed.Add(int64(s.ckpt.sweepTemps()))
 	keys, err := s.ckpt.keys()
 	if err != nil {
 		return
 	}
 	for _, key := range keys {
 		req, _, ok, err := s.ckpt.load(key)
-		if err != nil || !ok {
+		if err != nil {
+			// Unreadable: it would fail every future resume the same way,
+			// so holding on to the file reclaims nothing.
+			if s.ckpt.remove(key) == nil {
+				s.metrics.checkpointsReclaimed.Add(1)
+			}
+			continue
+		}
+		if !ok {
 			continue
 		}
 		j := newJob(context.Background(), key, "collect", func() ([]byte, error) { return s.runCheckpointed(req) })

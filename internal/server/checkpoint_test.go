@@ -42,7 +42,10 @@ func TestCheckpointPreemptResume(t *testing.T) {
 	// Server 1: preempt at the first checkpoint. The hook runs in the
 	// worker goroutine after each save; it triggers Shutdown and waits for
 	// the drain flag so the worker's next poll deterministically preempts.
-	s1 := New(Options{Workers: 1, CheckpointDir: dir, CheckpointCycles: 500})
+	s1, err := New(Options{Workers: 1, CheckpointDir: dir, CheckpointCycles: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var once sync.Once
 	s1.checkpointHook = func(key string) {
 		once.Do(func() {
@@ -139,7 +142,10 @@ func TestCheckpointCorruptFileFallsBack(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s := New(Options{Workers: 1, CheckpointDir: dir, CheckpointCycles: 1 << 40})
+	s, err := New(Options{Workers: 1, CheckpointDir: dir, CheckpointCycles: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
 	body, err := s.runCheckpointed(mustReq(t))
 	if err != nil {
 		t.Fatalf("corrupt checkpoint wedged the job: %v", err)
@@ -149,6 +155,42 @@ func TestCheckpointCorruptFileFallsBack(t *testing.T) {
 	}
 	if s.metrics.checkpointsResumed.Load() != 0 {
 		t.Fatal("corrupt checkpoint counted as resumed")
+	}
+}
+
+// TestCheckpointStartupSweep is the checkpoint-GC satellite: files that can
+// never be resumed — crash-orphaned temp files and unreadable checkpoints —
+// are deleted by the startup scan and counted as reclaimed, while healthy
+// checkpoints survive and recover as before.
+func TestCheckpointStartupSweep(t *testing.T) {
+	dir := t.TempDir()
+	seedCheckpoint(t, dir, 2000) // one healthy checkpoint
+	if err := os.WriteFile(filepath.Join(dir, ".ckpt-12345"), []byte("torn temp"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "garbage.ckpt"), []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, _ := newTestServer(t, Options{Workers: 1, CheckpointDir: dir, CheckpointCycles: 1 << 40})
+	if got := s.metrics.checkpointsReclaimed.Load(); got != 2 {
+		t.Fatalf("reclaimed = %d, want 2 (temp + unreadable)", got)
+	}
+	if s.metrics.recoveriesEnqueued.Load() != 1 {
+		t.Fatalf("healthy checkpoint not recovered: %d", s.metrics.recoveriesEnqueued.Load())
+	}
+	for _, name := range []string{".ckpt-12345", "garbage.ckpt"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Errorf("%s not deleted (err %v)", name, err)
+		}
+	}
+	// The metric is on /metrics.
+	var buf bytes.Buffer
+	if err := s.metrics.WritePrometheus(&buf, s.queue, s.cache); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "gcserved_checkpoint_files_reclaimed_total 2") {
+		t.Error("reclaim metric missing from exposition")
 	}
 }
 

@@ -39,6 +39,14 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so instrumented handlers can stream
+// (the SSE endpoint asserts http.Flusher on its ResponseWriter).
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps an endpoint with request/status counting and, when
 // observeLatency is set, service-latency observation.
 func (s *Server) instrument(path string, observeLatency bool, h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
@@ -226,18 +234,25 @@ type healthBody struct {
 	QueueDepth int
 	QueueCap   int
 	CacheLen   int
+	// JobsQueued is the async job backlog across all classes (0 when the
+	// job tier is disabled).
+	JobsQueued int
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.instrument("/healthz", false, func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(healthBody{
+		body := healthBody{
 			Status:     "ok",
 			Workers:    s.opts.Workers,
 			QueueDepth: s.queue.Depth(),
 			QueueCap:   s.queue.Cap(),
 			CacheLen:   s.cache.Len(),
-		})
+		}
+		if s.jobs != nil {
+			body.JobsQueued = s.jobs.Backlog()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(body)
 	})(w, r)
 }
 
@@ -245,5 +260,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.instrument("/metrics", false, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = s.metrics.WritePrometheus(w, s.queue, s.cache)
+		if s.jobs != nil {
+			_ = s.jobs.WriteMetrics(w)
+		}
 	})(w, r)
 }

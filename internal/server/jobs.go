@@ -1,0 +1,248 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"hwgc"
+	"hwgc/internal/jobs"
+)
+
+// jobSubmitBody is the POST /v1/jobs request: exactly one of Collect or
+// Sweep, plus an optional priority class (default: the first configured
+// class).
+type jobSubmitBody struct {
+	Collect *hwgc.CollectRequest `json:",omitempty"`
+	Sweep   *hwgc.SweepRequest   `json:",omitempty"`
+	Class   string               `json:",omitempty"`
+}
+
+// writeJobInfo serves a job Info snapshot as indented JSON.
+func writeJobInfo(w http.ResponseWriter, code int, info jobs.Info) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(info)
+}
+
+// handleJobs serves POST /v1/jobs: canonicalize, content-address, submit.
+// Submissions are idempotent — resubmitting the same request returns the
+// existing job (200) instead of creating a new one (202).
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.instrument("/v1/jobs", false, func(w http.ResponseWriter, r *http.Request) {
+		if !requirePost(w, r) {
+			return
+		}
+		var body jobSubmitBody
+		if !decodeJSON(w, r, &body) {
+			return
+		}
+		if (body.Collect == nil) == (body.Sweep == nil) {
+			writeError(w, http.StatusBadRequest, "exactly one of Collect or Sweep must be set")
+			return
+		}
+		if body.Class != "" && !s.jobs.HasClass(body.Class) {
+			writeError(w, http.StatusBadRequest, "unknown job class %q", body.Class)
+			return
+		}
+		var (
+			kind      string
+			scale     int
+			canonical []byte
+			err       error
+		)
+		if body.Collect != nil {
+			kind = jobs.KindCollect
+			if _, err = body.Collect.Key(); err == nil { // canonicalizes in place
+				scale = body.Collect.Scale
+				canonical, err = body.Collect.CanonicalJSON()
+			}
+		} else {
+			kind = jobs.KindSweep
+			if _, err = body.Sweep.Key(); err == nil { // canonicalizes in place
+				scale = body.Sweep.Scale
+				canonical, err = body.Sweep.CanonicalJSON()
+			}
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+			return
+		}
+		if s.opts.MaxScale > 0 && scale > s.opts.MaxScale {
+			writeError(w, http.StatusBadRequest, "scale %d exceeds server limit %d", scale, s.opts.MaxScale)
+			return
+		}
+		info, accepted, err := s.jobs.Submit(kind, body.Class, canonical)
+		switch {
+		case errors.Is(err, jobs.ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, "submitting job: %v", err)
+			return
+		}
+		code := http.StatusOK // deduped onto an existing job
+		if accepted {
+			code = http.StatusAccepted
+		}
+		w.Header().Set("Location", "/v1/jobs/"+info.ID)
+		writeJobInfo(w, code, info)
+	})(w, r)
+}
+
+// handleJobByID routes /v1/jobs/{id}, /v1/jobs/{id}/result and
+// /v1/jobs/{id}/events. Metric labels stay low-cardinality: the id is never
+// part of the label.
+func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" || strings.Contains(sub, "/") {
+		writeError(w, http.StatusNotFound, "no such resource %s", r.URL.Path)
+		return
+	}
+	switch sub {
+	case "":
+		s.instrument("/v1/jobs/{id}", false, func(w http.ResponseWriter, r *http.Request) {
+			switch r.Method {
+			case http.MethodGet:
+				s.serveJobInfo(w, id)
+			case http.MethodDelete:
+				s.serveJobCancel(w, id)
+			default:
+				w.Header().Set("Allow", "GET, DELETE")
+				writeError(w, http.StatusMethodNotAllowed, "%s requires GET or DELETE", r.URL.Path)
+			}
+		})(w, r)
+	case "result":
+		s.instrument("/v1/jobs/{id}/result", false, func(w http.ResponseWriter, r *http.Request) {
+			if !requireGet(w, r) {
+				return
+			}
+			s.serveJobResult(w, id)
+		})(w, r)
+	case "events":
+		s.instrument("/v1/jobs/{id}/events", false, func(w http.ResponseWriter, r *http.Request) {
+			if !requireGet(w, r) {
+				return
+			}
+			s.serveJobEvents(w, r, id)
+		})(w, r)
+	default:
+		writeError(w, http.StatusNotFound, "no such resource %s", r.URL.Path)
+	}
+}
+
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "%s requires GET", r.URL.Path)
+		return false
+	}
+	return true
+}
+
+func (s *Server) serveJobInfo(w http.ResponseWriter, id string) {
+	info, err := s.jobs.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	writeJobInfo(w, http.StatusOK, info)
+}
+
+func (s *Server) serveJobCancel(w http.ResponseWriter, id string) {
+	info, err := s.jobs.Cancel(id)
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+	case errors.Is(err, jobs.ErrTerminal):
+		// Cancel raced completion: the job already reached a final state,
+		// which the 409 body reports so the client can fetch the result.
+		writeError(w, http.StatusConflict, "job %s is already %s", id, info.State)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "cancelling job: %v", err)
+	default:
+		writeJobInfo(w, http.StatusOK, info)
+	}
+}
+
+// serveJobResult maps job states to result availability: done streams the
+// body, failed is the job's error (502 to distinguish job failure from
+// server failure), cancelled is gone, everything else is "not yet" (202
+// with the current Info, plus a Retry-After hint).
+func (s *Server) serveJobResult(w http.ResponseWriter, id string) {
+	body, info, err := s.jobs.Result(id)
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+	case err == nil:
+		writeResult(w, id, "JOB", body)
+	case info.State == jobs.StateFailed:
+		writeError(w, http.StatusBadGateway, "job failed: %s", info.Error)
+	case info.State == jobs.StateCancelled:
+		writeError(w, http.StatusGone, "job %s was cancelled", id)
+	default:
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds(s.opts.RetryAfter)))
+		writeJobInfo(w, http.StatusAccepted, info)
+	}
+}
+
+// serveJobEvents streams a job's lifecycle as Server-Sent Events: the full
+// replayable history first, then live transitions until the job reaches a
+// terminal state or the client disconnects. Every event carries its Seq as
+// the SSE id, the State as the event name, and the Event JSON as data.
+func (s *Server) serveJobEvents(w http.ResponseWriter, r *http.Request, id string) {
+	history, live, stop, err := s.jobs.Subscribe(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	defer stop()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	// write emits one event and reports whether the stream is over (a
+	// terminal state, or a dead connection).
+	write := func(ev jobs.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return true
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.State, data); err != nil {
+			return true
+		}
+		fl.Flush()
+		return ev.State.Terminal()
+	}
+	for _, ev := range history {
+		if write(ev) {
+			return
+		}
+	}
+	if live == nil {
+		return
+	}
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok || write(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		case <-s.draining:
+			// Shutdown closes the stream; the history is replayable after
+			// restart, so the client reconnects and misses nothing.
+			return
+		}
+	}
+}

@@ -31,7 +31,10 @@ func TestLoadBackpressureBoundedAndCacheIdentity(t *testing.T) {
 		CacheBytes:   8 << 20,
 		Timeout:      60 * time.Second,
 	}
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Real simulations, slowed enough that service time dominates request
 	// arrival jitter — otherwise the workers drain the queue faster than
 	// the client can fill it and backpressure never engages.

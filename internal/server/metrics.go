@@ -31,10 +31,11 @@ type Metrics struct {
 	batchItems   atomic.Int64 // batch items executed (any outcome)
 	batchFailed  atomic.Int64 // batch items that did not end 200
 
-	checkpointsSaved   atomic.Int64 // simulation snapshots persisted to disk
-	checkpointsResumed atomic.Int64 // jobs resumed from an on-disk checkpoint
-	jobsPreempted      atomic.Int64 // jobs stopped at a checkpoint for shutdown
-	recoveriesEnqueued atomic.Int64 // orphaned checkpoints enqueued at startup
+	checkpointsSaved     atomic.Int64 // simulation snapshots persisted to disk
+	checkpointsResumed   atomic.Int64 // jobs resumed from an on-disk checkpoint
+	jobsPreempted        atomic.Int64 // jobs stopped at a checkpoint for shutdown
+	recoveriesEnqueued   atomic.Int64 // orphaned checkpoints enqueued at startup
+	checkpointsReclaimed atomic.Int64 // unreadable/stale checkpoint files garbage-collected
 
 	mu       sync.Mutex
 	requests map[string]int64 // by path
@@ -172,6 +173,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, q queueState, c cacheState) error
 	add("# HELP gcserved_recoveries_enqueued_total Orphaned checkpoints enqueued for background completion at startup.")
 	add("# TYPE gcserved_recoveries_enqueued_total counter")
 	add("gcserved_recoveries_enqueued_total %d", m.recoveriesEnqueued.Load())
+	add("# HELP gcserved_checkpoint_files_reclaimed_total Unreadable, stale or leftover checkpoint files deleted by the startup and resume sweeps.")
+	add("# TYPE gcserved_checkpoint_files_reclaimed_total counter")
+	add("gcserved_checkpoint_files_reclaimed_total %d", m.checkpointsReclaimed.Load())
 	add("# HELP gcserved_request_seconds Service latency of job endpoints (upper-bound quantile estimates).")
 	add("# TYPE gcserved_request_seconds summary")
 	add("gcserved_request_seconds{quantile=\"0.5\"} %g", lat.Quantile(0.50))

@@ -15,6 +15,15 @@
 //	GET  /v1/workloads list benchmark workloads and baselines
 //	GET  /healthz      liveness + pool state
 //	GET  /metrics      Prometheus text-format counters
+//
+// With Options.JobsDir set, the durable async job tier (internal/jobs) is
+// mounted as well:
+//
+//	POST   /v1/jobs              submit a collect/sweep job (202 + job info)
+//	GET    /v1/jobs/{id}         job status
+//	GET    /v1/jobs/{id}/result  final result body (202 until done)
+//	GET    /v1/jobs/{id}/events  lifecycle events as a Server-Sent-Events stream
+//	DELETE /v1/jobs/{id}         cancel (at the next checkpoint boundary)
 package server
 
 import (
@@ -27,6 +36,7 @@ import (
 	"time"
 
 	"hwgc"
+	"hwgc/internal/jobs"
 )
 
 // Options configures a Server. Zero values select the defaults.
@@ -58,8 +68,20 @@ type Options struct {
 	// server resumes orphaned checkpoints from where they stopped.
 	CheckpointDir string
 	// CheckpointCycles is the snapshot interval in simulated clock cycles
-	// (default 200000; only meaningful with CheckpointDir).
+	// (default 200000; only meaningful with CheckpointDir or JobsDir).
 	CheckpointCycles int64
+	// JobsDir, when set, mounts the durable async job tier (/v1/jobs): a
+	// write-ahead log and checkpoint files live in this directory, and a
+	// restarted server resumes unfinished jobs from it.
+	JobsDir string
+	// JobClasses is the priority-class specification ("name:weight,...")
+	// for async jobs (default jobs.DefaultClasses; only meaningful with
+	// JobsDir).
+	JobClasses string
+	// JobRunners is the number of async job runners, separate from the
+	// synchronous worker pool so queued jobs cannot starve interactive
+	// requests of workers (default 2; only meaningful with JobsDir).
+	JobRunners int
 }
 
 func (o Options) withDefaults() Options {
@@ -69,10 +91,13 @@ func (o Options) withDefaults() Options {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 64
 	}
-	if o.CacheEntries == 0 {
+	// <= 0, not == 0: a negative setting is a misconfiguration, not a
+	// request for an unbounded (or disabled) cache, and must normalize to
+	// the default exactly like the other knobs above.
+	if o.CacheEntries <= 0 {
 		o.CacheEntries = 1024
 	}
-	if o.CacheBytes == 0 {
+	if o.CacheBytes <= 0 {
 		o.CacheBytes = 64 << 20
 	}
 	if o.Timeout <= 0 {
@@ -86,6 +111,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CheckpointCycles <= 0 {
 		o.CheckpointCycles = 200_000
+	}
+	if o.JobRunners <= 0 {
+		o.JobRunners = 2
 	}
 	return o
 }
@@ -106,6 +134,10 @@ type Server struct {
 	ckpt     *checkpointStore
 	draining chan struct{}
 
+	// jobs is the durable async job manager, non-nil when Options.JobsDir
+	// is set. Its runner pool is separate from the synchronous workers.
+	jobs *jobs.Manager
+
 	startOnce sync.Once
 	stopOnce  sync.Once
 
@@ -119,8 +151,10 @@ type Server struct {
 	checkpointHook func(key string)
 }
 
-// New creates a Server. Call Start to spin up the worker pool.
-func New(opts Options) *Server {
+// New creates a Server. Call Start to spin up the worker pool. It fails
+// only when the async job tier is enabled and cannot be opened (bad class
+// spec, unreadable jobs directory, corrupt WAL).
+func New(opts Options) (*Server, error) {
 	s := &Server{
 		opts:       opts.withDefaults(),
 		metrics:    NewMetrics(),
@@ -141,7 +175,29 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	return s
+	if s.opts.JobsDir != "" {
+		classes, err := jobs.ParseClasses(s.opts.JobClasses)
+		if err != nil {
+			return nil, err
+		}
+		// Job IDs are the same content address the synchronous path uses as
+		// its cache key, so finished job results feed the result cache and
+		// later synchronous requests for the same work hit it for free.
+		mgr, err := jobs.Open(jobs.Options{
+			Dir:              s.opts.JobsDir,
+			Classes:          classes,
+			Runners:          s.opts.JobRunners,
+			CheckpointCycles: s.opts.CheckpointCycles,
+			OnResult:         func(id string, body []byte) { s.cache.Put(id, body) },
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.jobs = mgr
+		s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+		s.mux.HandleFunc("/v1/jobs/", s.handleJobByID)
+	}
+	return s, nil
 }
 
 func encodeCollect(req hwgc.CollectRequest) ([]byte, error) {
@@ -198,6 +254,9 @@ func (s *Server) Queue() *Queue { return s.queue }
 // Cache exposes the result cache (for tests).
 func (s *Server) Cache() *Cache { return s.cache }
 
+// Jobs exposes the async job manager (nil when JobsDir is unset).
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
 // Shutdown drains gracefully: admission stops (new jobs get 503), every
 // job already admitted is executed — except checkpointed collect jobs,
 // which persist their state at the next snapshot boundary and stop with
@@ -215,9 +274,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	// Drain the async job tier in parallel with the worker pool: running
+	// jobs stop at their next checkpoint boundary (durably, in the WAL), so
+	// this is bounded by one checkpoint interval, not by job length.
+	var jobsErr error
+	if s.jobs != nil {
+		jobsErr = s.jobs.Drain(ctx)
+	}
 	select {
 	case <-done:
-		return nil
+		return jobsErr
 	case <-ctx.Done():
 		return fmt.Errorf("server: shutdown: %w", ctx.Err())
 	}

@@ -20,7 +20,10 @@ import (
 // tears both down (draining) at cleanup.
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
@@ -255,7 +258,10 @@ func TestMetricsEndpoint(t *testing.T) {
 // no simulation), for deterministic backpressure and deadline tests.
 func slowServer(t *testing.T, opts Options, d time.Duration) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.runCollect = func(req hwgc.CollectRequest) ([]byte, error) {
 		time.Sleep(d)
 		return []byte(fmt.Sprintf(`{"Bench":%q,"Seed":%d}`, req.Bench, req.Seed)), nil

@@ -17,7 +17,10 @@ import (
 // submissions are refused with 503, and Shutdown returns only after the
 // pool has drained.
 func TestGracefulShutdownDrains(t *testing.T) {
-	s := New(Options{Workers: 1, QueueDepth: 8})
+	s, err := New(Options{Workers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	started := make(chan struct{}, 16)
 	s.runCollect = func(req hwgc.CollectRequest) ([]byte, error) {
 		started <- struct{}{}
@@ -92,7 +95,10 @@ func TestGracefulShutdownDrains(t *testing.T) {
 // TestShutdownHonorsContext checks that a too-short drain budget surfaces
 // as ctx.Err instead of hanging.
 func TestShutdownHonorsContext(t *testing.T) {
-	s := New(Options{Workers: 1, QueueDepth: 4})
+	s, err := New(Options{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.runCollect = func(req hwgc.CollectRequest) ([]byte, error) {
 		time.Sleep(300 * time.Millisecond)
 		return []byte(`{}`), nil
