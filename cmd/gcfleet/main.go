@@ -13,16 +13,26 @@
 //	        [-addr :8090] [-vnodes 128] [-replicas 3] [-attempts 4]
 //	        [-timeout 60s] [-hedge-quantile 0] [-hedge-min 20ms]
 //	        [-health-interval 2s] [-breaker-failures 3] [-breaker-cooldown 5s]
-//	        [-batch-inflight 4] [-drain 30s]
+//	        [-batch-inflight 4] [-export-wait 30s] [-registry-limit 4096]
+//	        [-drain 30s]
 //
 // Endpoints (same wire format as one gcserved):
 //
 //	POST /v1/collect   routed to the key's ring owner, proxied verbatim
 //	POST /v1/sweep     routed to the key's ring owner, proxied verbatim
 //	POST /v1/batch     scatter-gather over the fleet, per-item results
+//	POST /v1/jobs      async jobs, routed by the job's content key
+//	GET  /v1/jobs/{id} job status/result/events, routed like the submit
 //	GET  /v1/workloads proxied from any live backend
 //	GET  /healthz      fleet health (ok while any backend is admissible)
 //	GET  /metrics      fleet-level Prometheus counters
+//
+// Admin (elastic membership — see internal/elastic):
+//
+//	POST   /v1/admin/backends      health-gated join of a new backend
+//	DELETE /v1/admin/backends/{id} remove a backend (drained by migration)
+//	GET    /v1/admin/topology      ring membership, shares, breaker states
+//	POST   /v1/admin/rebalance     synchronous checkpoint-migration pass
 package main
 
 import (
@@ -70,6 +80,8 @@ func parseOptions(args []string) (addr string, opts cluster.Options, drain time.
 		brkFailures    = fs.Int("breaker-failures", 3, "consecutive failures that open a backend's circuit breaker")
 		brkCooldown    = fs.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before the half-open probe")
 		batchInflight  = fs.Int("batch-inflight", 4, "concurrent batch items per backend")
+		exportWait     = fs.Duration("export-wait", 30*time.Second, "how long a migration export waits for a running job's next snapshot boundary")
+		registryLimit  = fs.Int("registry-limit", 4096, "job submissions remembered for dead-owner rescue during rebalance")
 		drainFlag      = fs.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -105,6 +117,8 @@ func parseOptions(args []string) (addr string, opts cluster.Options, drain time.
 		BreakerThreshold: *brkFailures,
 		BreakerCooldown:  *brkCooldown,
 		BatchInflight:    *batchInflight,
+		ExportWait:       *exportWait,
+		RegistryLimit:    *registryLimit,
 	}, *drainFlag, nil
 }
 

@@ -34,6 +34,9 @@ func TestParseOptionsDefaults(t *testing.T) {
 	if opts.HedgeQuantile != 0 || opts.HealthInterval != 2*time.Second {
 		t.Errorf("hedge/health defaults wrong: %+v", opts)
 	}
+	if opts.ExportWait != 30*time.Second || opts.RegistryLimit != 4096 {
+		t.Errorf("elastic defaults wrong: %+v", opts)
+	}
 	if drain != 30*time.Second {
 		t.Errorf("drain = %s, want 30s", drain)
 	}
@@ -49,7 +52,8 @@ func TestParseOptionsAllFlags(t *testing.T) {
 	addr, opts, drain, err := parseOptions(strings.Fields(
 		"-addr :7000 -backends http://x:1 -vnodes 16 -replicas 2 -attempts 5 -timeout 9s " +
 			"-hedge-quantile 0.9 -hedge-min 5ms -health-interval 1s " +
-			"-breaker-failures 7 -breaker-cooldown 3s -batch-inflight 2 -drain 4s"))
+			"-breaker-failures 7 -breaker-cooldown 3s -batch-inflight 2 " +
+			"-export-wait 11s -registry-limit 99 -drain 4s"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +64,8 @@ func TestParseOptionsAllFlags(t *testing.T) {
 		opts.Timeout != 9*time.Second || opts.HedgeQuantile != 0.9 ||
 		opts.HedgeMinDelay != 5*time.Millisecond || opts.HealthInterval != time.Second ||
 		opts.BreakerThreshold != 7 || opts.BreakerCooldown != 3*time.Second ||
-		opts.BatchInflight != 2 {
+		opts.BatchInflight != 2 || opts.ExportWait != 11*time.Second ||
+		opts.RegistryLimit != 99 {
 		t.Errorf("parsed options: %+v", opts)
 	}
 }

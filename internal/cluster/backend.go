@@ -23,7 +23,18 @@ type Backend struct {
 	hedges    atomic.Int64 // hedge requests launched against this backend
 	healthy   atomic.Bool  // last health-probe outcome
 	healthErr atomic.Value // string: last health-probe error, for /healthz
+
+	// removed is set when the backend leaves the ring: in-flight exchanges
+	// may still settle against it, but it takes no probes and no breaker or
+	// metric attribution, and serves only as a migration source.
+	removed atomic.Bool
+	// wasOpen tracks the breaker's last observed open state so probeAll
+	// fires the rebalance trigger once per open transition, not per probe.
+	wasOpen atomic.Bool
 }
+
+// Removed reports whether the backend has been removed from the ring.
+func (b *Backend) Removed() bool { return b.removed.Load() }
 
 // ID returns the backend's stable name.
 func (b *Backend) ID() string { return b.id }

@@ -33,11 +33,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
+
+	"hwgc/internal/elastic"
 )
 
 // Options configures a Fleet. Zero values select the defaults.
@@ -48,7 +51,8 @@ type Options struct {
 	// (default DefaultVnodes).
 	Vnodes int
 	// Replicas is the failover width: how many distinct backends, in ring
-	// order, may serve one key (default 3, capped at the backend count).
+	// order, may serve one key (default 3; the ring caps it at the live
+	// member count, which elastic membership changes at runtime).
 	Replicas int
 	// MaxAttempts bounds the total HTTP sends for one request, hedges
 	// included (default 4).
@@ -83,6 +87,12 @@ type Options struct {
 	Timeout time.Duration
 	// Client overrides the HTTP client (tests; default is a pooled client).
 	Client *http.Client
+	// RegistryLimit bounds the submission registry used to rescue jobs from
+	// dead backends during a rebalance (default 4096 entries).
+	RegistryLimit int
+	// ExportWait bounds how long a migration export waits for a running job
+	// to reach its next snapshot boundary (default 30s).
+	ExportWait time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -91,9 +101,6 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Replicas <= 0 {
 		o.Replicas = 3
-	}
-	if o.Replicas > len(o.Backends) {
-		o.Replicas = len(o.Backends)
 	}
 	if o.MaxAttempts <= 0 {
 		o.MaxAttempts = 4
@@ -125,6 +132,12 @@ func (o Options) withDefaults() Options {
 	if o.Timeout <= 0 {
 		o.Timeout = 60 * time.Second
 	}
+	if o.RegistryLimit <= 0 {
+		o.RegistryLimit = 4096
+	}
+	if o.ExportWait <= 0 {
+		o.ExportWait = 30 * time.Second
+	}
 	return o
 }
 
@@ -136,6 +149,18 @@ var (
 	ErrExhausted = errors.New("cluster: attempts exhausted")
 )
 
+// Errors the membership layer reports on admin topology changes.
+var (
+	// ErrAdmission: a joining backend failed its health-gated admission probe.
+	ErrAdmission = errors.New("cluster: admission probe failed")
+	// ErrDuplicate: the backend URL is already a fleet member.
+	ErrDuplicate = errors.New("cluster: backend already in the fleet")
+	// ErrUnknownBackend: the id names no current ring member.
+	ErrUnknownBackend = errors.New("cluster: unknown backend")
+	// ErrLastBackend: refusing to remove the fleet's only backend.
+	ErrLastBackend = errors.New("cluster: cannot remove the last backend")
+)
+
 // Fleet is the coordinator: a hash ring of backends, per-backend breakers
 // and counters, fleet metrics, and the HTTP front end.
 type Fleet struct {
@@ -144,9 +169,17 @@ type Fleet struct {
 	metrics *Metrics
 	mux     *http.ServeMux
 
-	mu       sync.RWMutex // guards ring + backends map on membership change
+	mu       sync.RWMutex // guards ring, backends, removed and nextIdx
 	ring     *Ring
 	backends map[string]*Backend
+	removed  map[string]*Backend // left the ring; retained as migration sources
+	nextIdx  int                 // monotonic backend index so re-adds get fresh IDs
+
+	registry *jobRegistry     // canonical submit bodies, for dead-owner rescue
+	emetrics *elastic.Metrics // gcelastic_* counters, appended to /metrics
+	migrator *elastic.Migrator
+
+	rebalanceMu sync.Mutex // serializes migration passes
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -173,6 +206,10 @@ func New(opts Options) (*Fleet, error) {
 		opts:     opts,
 		metrics:  NewMetrics(),
 		backends: make(map[string]*Backend, len(opts.Backends)),
+		removed:  make(map[string]*Backend),
+		nextIdx:  len(opts.Backends),
+		registry: newJobRegistry(opts.RegistryLimit),
+		emetrics: elastic.NewMetrics(),
 		stop:     make(chan struct{}),
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 		sleep:    sleepCtx,
@@ -202,6 +239,12 @@ func New(opts Options) (*Fleet, error) {
 			IdleConnTimeout:     90 * time.Second,
 		}}
 	}
+	f.migrator = &elastic.Migrator{
+		Client:     f.client,
+		Metrics:    f.emetrics,
+		Logf:       log.Printf,
+		ExportWait: opts.ExportWait,
+	}
 	f.mux = http.NewServeMux()
 	f.mux.HandleFunc("/v1/collect", f.handleCollect)
 	f.mux.HandleFunc("/v1/sweep", f.handleSweep)
@@ -209,6 +252,10 @@ func New(opts Options) (*Fleet, error) {
 	f.mux.HandleFunc("/v1/jobs", f.handleJobs)
 	f.mux.HandleFunc("/v1/jobs/", f.handleJobByID)
 	f.mux.HandleFunc("/v1/workloads", f.handleWorkloads)
+	f.mux.HandleFunc("/v1/admin/backends", f.handleAdminBackends)
+	f.mux.HandleFunc("/v1/admin/backends/", f.handleAdminBackendByID)
+	f.mux.HandleFunc("/v1/admin/topology", f.handleAdminTopology)
+	f.mux.HandleFunc("/v1/admin/rebalance", f.handleAdminRebalance)
 	f.mux.HandleFunc("/healthz", f.handleHealthz)
 	f.mux.HandleFunc("/metrics", f.handleMetrics)
 	return f, nil
@@ -248,20 +295,73 @@ func (f *Fleet) Backends() []*Backend {
 	return out
 }
 
-// RemoveBackend permanently removes a backend from the ring (operator
-// membership change, as opposed to a breaker trip which keeps ring
-// ownership stable). The remaining backends deterministically inherit only
-// the removed member's keys.
-func (f *Fleet) RemoveBackend(id string) error {
+// AddBackend joins a new gcserved to the fleet at runtime. Admission is
+// health-gated: the candidate is probed first and enters the ring only
+// after a successful probe, so a typo'd URL or a dead process never takes
+// traffic. It returns the new backend and the fraction of sampled keys
+// whose owner changed (~1/(N+1) when the Nth+1 member joins, by minimal
+// remap). The caller is expected to kick a rebalance pass so jobs whose key
+// now routes to the newcomer migrate there.
+func (f *Fleet) AddBackend(raw string) (*Backend, float64, error) {
+	f.mu.Lock()
+	idx := f.nextIdx
+	f.nextIdx++
+	f.mu.Unlock()
+	b, err := newBackend(idx, raw, f.opts.BreakerThreshold, f.opts.BreakerCooldown, f.opts.BatchInflight)
+	if err != nil {
+		return nil, 0, err
+	}
+	if ok, perr := f.probe(b); !ok {
+		return nil, 0, fmt.Errorf("%w: %s: %v", ErrAdmission, b.baseURL, perr)
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	for _, ex := range f.backends {
+		if ex.baseURL == b.baseURL {
+			return nil, 0, fmt.Errorf("%w: %s is %s", ErrDuplicate, b.baseURL, ex.id)
+		}
+	}
+	ring, err := f.ring.With(b.id)
+	if err != nil {
+		return nil, 0, err
+	}
+	frac := remapFraction(f.ring, ring)
+	f.ring = ring
+	f.backends[b.id] = b
+	f.metrics.backendsAdded.Add(1)
+	f.emetrics.SetKeysRemappedFraction(frac)
+	return b, frac, nil
+}
+
+// RemoveBackend removes a backend from the ring (operator membership
+// change, as opposed to a breaker trip which keeps ring ownership stable).
+// The remaining backends deterministically inherit only the removed
+// member's keys. The backend object is retained, marked removed, as a
+// checkpoint-migration source until a clean rebalance pass drains it; it
+// takes no further probes, routing, or metric attribution. Returns the
+// fraction of sampled keys whose owner changed.
+func (f *Fleet) RemoveBackend(id string) (float64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b, ok := f.backends[id]
+	if !ok {
+		return 0, fmt.Errorf("%w %q", ErrUnknownBackend, id)
+	}
+	if len(f.backends) == 1 {
+		return 0, ErrLastBackend
+	}
 	ring, err := f.ring.Remove(id)
 	if err != nil {
-		return err
+		return 0, err
 	}
+	frac := remapFraction(f.ring, ring)
 	f.ring = ring
 	delete(f.backends, id)
-	return nil
+	b.removed.Store(true)
+	f.removed[id] = b
+	f.metrics.backendsRemoved.Add(1)
+	f.emetrics.SetKeysRemappedFraction(frac)
+	return frac, nil
 }
 
 // replicasFor returns the key's failover order as live *Backend pointers.
@@ -491,6 +591,13 @@ func (f *Fleet) settleHedgeLoser(loser sendResult) {
 	if b == nil {
 		return
 	}
+	if b.removed.Load() {
+		// The backend left the ring while this hedge was in flight: settle
+		// the breaker slot without recording an outcome, and attribute no
+		// errors or failure metrics to a member that no longer exists.
+		b.breaker.Cancel()
+		return
+	}
 	switch {
 	case loser.err != nil && errors.Is(loser.err, context.Canceled):
 		b.breaker.Cancel()
@@ -579,6 +686,20 @@ func (f *Fleet) healthLoop() {
 
 func (f *Fleet) probeAll() {
 	for _, b := range f.Backends() {
+		if b.removed.Load() {
+			continue // left the ring: migration source only, never probed
+		}
+		// Detect a fresh breaker-open transition before the Allow gate (an
+		// open breaker refuses Allow, which would hide the transition). A
+		// member whose breaker just opened has jobs stuck behind it until it
+		// recovers — kick one migration pass to move them to live owners.
+		open := b.breaker.State() == BreakerOpen
+		if open && !b.wasOpen.Swap(true) {
+			f.goRebalance()
+		}
+		if !open {
+			b.wasOpen.Store(false)
+		}
 		if !b.breaker.Allow() {
 			continue // open and cooling down: skip until half-open
 		}

@@ -53,6 +53,10 @@ func newFakeBackend(t *testing.T, delay time.Duration) *fakeBackend {
 			return
 		case "slow":
 			time.Sleep(fb.delay)
+		case "slowfail":
+			time.Sleep(fb.delay)
+			http.Error(w, "late boom", http.StatusServiceUnavailable)
+			return
 		}
 		body, _ := io.ReadAll(r.Body)
 		w.Header().Set("X-Cache", "MISS")
@@ -594,8 +598,15 @@ func TestFleetRemoveBackend(t *testing.T) {
 	fakes := []*fakeBackend{newFakeBackend(t, 0), newFakeBackend(t, 0), newFakeBackend(t, 0)}
 	f, _ := newTestFleet(t, Options{}, fakes...)
 	victim := f.Backends()[1]
-	if err := f.RemoveBackend(victim.id); err != nil {
+	frac, err := f.RemoveBackend(victim.id)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if frac <= 0 || frac > 0.6 {
+		t.Errorf("remap fraction %v after removing 1 of 3, want ~1/3", frac)
+	}
+	if !victim.Removed() {
+		t.Error("removed backend not marked removed")
 	}
 	if len(f.Backends()) != 2 {
 		t.Fatalf("backends = %d after removal, want 2", len(f.Backends()))
@@ -609,7 +620,7 @@ func TestFleetRemoveBackend(t *testing.T) {
 			t.Fatalf("removed backend still serving")
 		}
 	}
-	if err := f.RemoveBackend("nope"); err == nil {
+	if _, err := f.RemoveBackend("nope"); err == nil {
 		t.Error("removing unknown backend accepted")
 	}
 }

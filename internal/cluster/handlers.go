@@ -194,4 +194,5 @@ func (f *Fleet) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (f *Fleet) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = f.metrics.WritePrometheus(w, f.Backends())
+	_ = f.emetrics.WritePrometheus(w)
 }

@@ -85,6 +85,12 @@ func (f *Fleet) handleJobs(w http.ResponseWriter, r *http.Request) {
 	res, err := f.do(ctx, http.MethodPost, "/v1/jobs", key, body)
 	if err == nil {
 		copyHeader(w, res.header, "Location")
+		if res.status < http.StatusMultipleChoices {
+			// Remember the accepted submission so a rebalance pass can
+			// resubmit it from scratch if its owner dies before the job can
+			// be checkpoint-exported (dead-owner rescue).
+			f.registry.Record(key, body)
+		}
 	}
 	f.finishProxy(w, res, err)
 }

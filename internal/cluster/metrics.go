@@ -30,6 +30,8 @@ type Metrics struct {
 	batchRequests   atomic.Int64
 	batchItems      atomic.Int64
 	batchFailed     atomic.Int64
+	backendsAdded   atomic.Int64 // runtime joins via the admin API
+	backendsRemoved atomic.Int64 // runtime removals via the admin API
 
 	mu        sync.Mutex
 	exchanges map[string]map[int]int64 // backend id -> status code -> count
@@ -162,6 +164,12 @@ func (m *Metrics) WritePrometheus(w io.Writer, backends []*Backend) error {
 	add("# HELP gcfleet_backends Backends currently in the ring.")
 	add("# TYPE gcfleet_backends gauge")
 	add("gcfleet_backends %d", len(backends))
+	add("# HELP gcfleet_backends_added_total Backends joined at runtime via the admin API.")
+	add("# TYPE gcfleet_backends_added_total counter")
+	add("gcfleet_backends_added_total %d", m.backendsAdded.Load())
+	add("# HELP gcfleet_backends_removed_total Backends removed at runtime via the admin API.")
+	add("# TYPE gcfleet_backends_removed_total counter")
+	add("gcfleet_backends_removed_total %d", m.backendsRemoved.Load())
 	add("# HELP gcfleet_retries_total Sends after the first for one request (retry policy).")
 	add("# TYPE gcfleet_retries_total counter")
 	add("gcfleet_retries_total %d", m.retries.Load())

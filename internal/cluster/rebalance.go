@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"hwgc/internal/elastic"
+)
+
+// remapSampleKeys is the deterministic key sample used to measure how much
+// of the key space a topology change remapped.
+const remapSampleKeys = 1024
+
+// remapFraction measures the fraction of a deterministic key sample whose
+// primary owner differs between two rings. Minimal remap makes this ~1/N
+// when one of N members changes; a naive mod-N scheme would score ~1.
+func remapFraction(old, cur *Ring) float64 {
+	if old == nil || cur == nil {
+		return 0
+	}
+	moved := 0
+	for i := 0; i < remapSampleKeys; i++ {
+		k := fmt.Sprintf("sample-%d", i)
+		if old.Owner(k) != cur.Owner(k) {
+			moved++
+		}
+	}
+	return float64(moved) / remapSampleKeys
+}
+
+// buildPlan snapshots the fleet for one migration pass: every live and
+// removed backend with its admissibility, an immutable ring capture for
+// owner lookups, and a copy of the submission registry. The pass then runs
+// entirely against the snapshot — a concurrent membership change simply
+// triggers its own later pass.
+func (f *Fleet) buildPlan() elastic.Plan {
+	f.mu.RLock()
+	ring := f.ring
+	backs := make([]elastic.BackendInfo, 0, len(f.backends)+len(f.removed))
+	for _, id := range ring.Members() {
+		b := f.backends[id]
+		backs = append(backs, elastic.BackendInfo{
+			ID:         b.id,
+			URL:        b.baseURL,
+			Admissible: b.breaker.State() != BreakerOpen,
+		})
+	}
+	for _, b := range f.removed {
+		backs = append(backs, elastic.BackendInfo{
+			ID:         b.id,
+			URL:        b.baseURL,
+			Admissible: b.breaker.State() != BreakerOpen,
+			Removed:    true,
+		})
+	}
+	f.mu.RUnlock()
+	sort.Slice(backs, func(i, j int) bool { return backs[i].ID < backs[j].ID })
+	replicas := f.opts.Replicas
+	return elastic.Plan{
+		Backends: backs,
+		Replicas: func(key string) []string { return ring.Lookup(key, replicas) },
+		Registry: f.registry.Snapshot(),
+	}
+}
+
+// Rebalance runs one synchronous migration pass over the current topology
+// and returns its report. Passes are serialized; a pass that fails partway
+// is safe to re-run (exports are non-destructive and imports idempotent).
+// After a clean pass the drained removed backends are forgotten; a pass
+// with failures retains them as migration sources for the next attempt.
+func (f *Fleet) Rebalance(ctx context.Context) elastic.Report {
+	f.rebalanceMu.Lock()
+	defer f.rebalanceMu.Unlock()
+	rep := f.migrator.Rebalance(ctx, f.buildPlan())
+	if rep.Failed == 0 {
+		f.mu.Lock()
+		f.removed = make(map[string]*Backend)
+		f.mu.Unlock()
+	}
+	return rep
+}
+
+// goRebalance kicks an asynchronous migration pass. Topology changes and
+// breaker-open transitions use it; POST /v1/admin/rebalance runs a
+// synchronous pass instead so callers (and tests) get the report back.
+func (f *Fleet) goRebalance() {
+	select {
+	case <-f.stop:
+		return
+	default:
+	}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		timeout := 2 * time.Minute
+		if f.opts.Timeout > timeout {
+			timeout = f.opts.Timeout
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		f.Rebalance(ctx)
+	}()
+}

@@ -139,6 +139,24 @@ func (r *Ring) Lookup(key string, n int) []string {
 	return out
 }
 
+// Shares returns each member's fraction of the ring's key space (the sum of
+// its vnode arc lengths over 2^64). The admin topology endpoint reports it
+// so an operator can see the post-change ownership balance.
+func (r *Ring) Shares() map[string]float64 {
+	arcs := make(map[string]uint64, len(r.members))
+	n := len(r.hashes)
+	for i, h := range r.hashes {
+		// Vnode i owns the arc (hashes[i-1], hashes[i]]; uint64 wrap-around
+		// subtraction handles the first vnode's arc across zero.
+		arcs[r.owners[i]] += h - r.hashes[(i-1+n)%n]
+	}
+	out := make(map[string]float64, len(arcs))
+	for m, a := range arcs {
+		out[m] = float64(a) / (1 << 63) / 2
+	}
+	return out
+}
+
 // start returns the index of the first vnode at or clockwise after key.
 func (r *Ring) start(key string) int {
 	h := hashPoint(key)

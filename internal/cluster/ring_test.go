@@ -151,3 +151,79 @@ func TestRingMinimalRemap(t *testing.T) {
 		}
 	}
 }
+
+// TestRingJoinRemapFraction is the join-side minimal-remap bound: adding
+// one member to N takes over only ~1/(N+1) of the keys — every remapped key
+// moves TO the newcomer, and the measured fraction stays near the ideal
+// share rather than the ~100% a naive mod-N scheme would reshuffle.
+func TestRingJoinRemapFraction(t *testing.T) {
+	keys := testKeys(4000)
+	for _, n := range []int{2, 3, 5, 8} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("m%d", i)
+		}
+		r, err := NewRing(members, DefaultVnodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grown, err := r.With("joiner")
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			if got := grown.Owner(k); got != r.Owner(k) {
+				if got != "joiner" {
+					t.Fatalf("n=%d: key %q moved %s -> %s, not to the joiner", n, k, r.Owner(k), got)
+				}
+				moved++
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		ideal := 1 / float64(n+1)
+		// ε covers vnode placement variance at 128 vnodes/member plus key
+		// sampling noise: the join must stay within 2x of its ideal share
+		// and far below a full reshuffle.
+		if frac > 2*ideal || frac < ideal/3 {
+			t.Errorf("n=%d: join remapped %.3f of keys, want ~%.3f (minimal remap)", n, frac, ideal)
+		}
+		// remapFraction (the admin metric) must agree with the direct count.
+		if mf := remapFraction(r, grown); mf > 2*ideal || mf < ideal/3 {
+			t.Errorf("n=%d: remapFraction = %.3f, want ~%.3f", n, mf, ideal)
+		}
+	}
+}
+
+// TestRingShares checks the key-space accounting the topology endpoint
+// reports: shares sum to 1 and track each member's sampled key ownership.
+func TestRingShares(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c", "d"}, DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := r.Shares()
+	sum := 0.0
+	for _, m := range r.Members() {
+		s := shares[m]
+		if s <= 0 || s >= 1 {
+			t.Errorf("share[%s] = %v, want in (0,1)", m, s)
+		}
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+	// Shares approximate the measured key distribution.
+	counts := map[string]int{}
+	keys := testKeys(4000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, m := range r.Members() {
+		measured := float64(counts[m]) / float64(len(keys))
+		if d := measured - shares[m]; d > 0.05 || d < -0.05 {
+			t.Errorf("member %s: arc share %.3f vs measured %.3f", m, shares[m], measured)
+		}
+	}
+}

@@ -1,10 +1,48 @@
 package jobs
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"testing"
+	"time"
+
+	"hwgc"
 )
+
+// benchEnvelope is checkpointedEnvelope for benchmarks: a genuine mid-run
+// S21 envelope cut 200 cycles into the collection.
+func benchEnvelope(b *testing.B, cores int, seed int64) *ExportedJob {
+	b.Helper()
+	req := hwgc.CollectRequest{Bench: "search", Seed: seed, Config: hwgc.Config{Cores: cores}}
+	canonical, err := req.CanonicalJSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rc, err := hwgc.StartCollectRequest(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if done, err := rc.StepCycles(200); err != nil || done {
+		b.Fatalf("step: done=%v err=%v (need a mid-run position)", done, err)
+	}
+	snap, err := rc.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &ExportedJob{
+		V:        1,
+		ID:       hwgc.KeyBytes(canonical),
+		Kind:     KindCollect,
+		Request:  canonical,
+		State:    StateCheckpointed,
+		Cycle:    rc.Cycle(),
+		Snapshot: snap,
+		SnapCRC:  crc32.ChecksumIEEE(snap),
+	}
+}
 
 // BenchmarkJobScheduler measures the pure scheduling cost of the stride
 // scheduler — enqueue, fair-share pick, and service charge for a mixed
@@ -59,4 +97,71 @@ func BenchmarkJobScheduler(b *testing.B) {
 	}
 	b.ReportMetric(float64(picks), "sched-picks")
 	b.ReportMetric(float64(orderHash), "sched-order-hash")
+}
+
+// BenchmarkMigration measures the full checkpoint-migration ingest path on
+// the receiving side: decode the wire envelope, validate it, adopt it into a
+// fresh manager, resume from the shipped S21 snapshot, and run to completion.
+// The envelope itself is built once outside the timed region, the way a
+// rebalance pass ships the same exported bytes to one destination.
+//
+// Besides ns/op it reports three deterministic metrics that the benchdiff
+// gate pins exactly:
+//
+//   - env-bytes: size of the JSON wire envelope. Any snapshot-codec or
+//     envelope-schema change shifts this.
+//   - snap-crc: CRC-32 of the shipped snapshot. Catches silent changes to
+//     the S21 encoding or to the simulator state at the capture boundary.
+//   - snap-cycle: the simulated cycle at which the checkpoint was cut; a
+//     drifted boundary means preemption semantics changed.
+func BenchmarkMigration(b *testing.B) {
+	env := benchEnvelope(b, 4, 21)
+	wire, err := json.Marshal(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var shipped ExportedJob
+		if err := json.Unmarshal(wire, &shipped); err != nil {
+			b.Fatal(err)
+		}
+		if err := shipped.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		m, err := Open(Options{Dir: b.TempDir(), Runners: 1, CheckpointCycles: 1 << 40})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, accepted, err := m.Import(&shipped); err != nil || !accepted {
+			b.Fatalf("import: accepted=%v err=%v", accepted, err)
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			info, err := m.Get(shipped.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if info.State == StateDone {
+				break
+			}
+			if info.State.Terminal() || time.Now().After(deadline) {
+				b.Fatalf("imported job state %s", info.State)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if _, _, err := m.Result(shipped.ID); err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := m.Drain(ctx); err != nil {
+			b.Fatal(err)
+		}
+		cancel()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(wire)), "env-bytes")
+	b.ReportMetric(float64(env.SnapCRC), "snap-crc")
+	b.ReportMetric(float64(env.Cycle), "snap-cycle")
 }

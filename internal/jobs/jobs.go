@@ -19,7 +19,7 @@
 //
 // Job lifecycle:
 //
-//	queued -> running -> done | failed | cancelled
+//	queued -> running -> done | failed | cancelled | migrated
 //	            ^  |
 //	            |  v           (preemption / drain / crash, always at a
 //	         checkpointed       checkpoint boundary)
@@ -42,7 +42,8 @@ type State string
 
 // The job states, in lifecycle order. Checkpointed means "preempted at a
 // checkpoint boundary and waiting to be rescheduled"; it is a queue state,
-// not a terminal one.
+// not a terminal one. Migrated means "handed off to another backend via a
+// checkpoint export" — terminal locally, but the job lives on elsewhere.
 const (
 	StateQueued       State = "queued"
 	StateRunning      State = "running"
@@ -50,11 +51,12 @@ const (
 	StateDone         State = "done"
 	StateFailed       State = "failed"
 	StateCancelled    State = "cancelled"
+	StateMigrated     State = "migrated"
 )
 
 // Terminal reports whether s is a final state.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateMigrated
 }
 
 // Job kinds.

@@ -103,9 +103,12 @@ type job struct {
 	Finished    time.Time
 	HasCkpt     bool // a checkpoint file exists for the current point
 
-	preempt atomic.Bool // yield at the next checkpoint boundary
-	cancel  atomic.Bool // cancel at the next checkpoint boundary
-	events  *eventLog
+	preempt    atomic.Bool  // yield at the next checkpoint boundary
+	cancel     atomic.Bool  // cancel at the next checkpoint boundary
+	migrateOut atomic.Bool  // a cancel is a migration handoff, not a user cancel
+	exporting  atomic.Int32 // exporters waiting for a checkpoint-boundary park
+	parked     bool         // held out of sched for an exporter (guarded by m.mu)
+	events     *eventLog
 }
 
 // Manager owns the job table, the WAL, the scheduler and the runner pool.
@@ -243,11 +246,11 @@ func (m *Manager) recover(recs []walRecord) error {
 			case StateCheckpointed:
 				j.State = StateCheckpointed
 				j.Cycle = rec.Cycle
-			case StateQueued: // revival of a failed or cancelled job
+			case StateQueued: // revival of a failed, cancelled or migrated job
 				j.State = StateQueued
 				j.ErrMsg = ""
 				j.Finished = time.Time{}
-			case StateFailed, StateCancelled:
+			case StateFailed, StateCancelled, StateMigrated:
 				j.State = rec.State
 				j.ErrMsg = rec.Error
 				j.Finished = rec.At
@@ -407,7 +410,7 @@ func (m *Manager) compact(rewrite bool) error {
 		case StateQueued: // implied by recSubmit
 		case StateCheckpointed:
 			recs = append(recs, walRecord{Type: recState, ID: j.ID, State: StateCheckpointed, Point: j.Point, Cycle: j.Cycle, At: j.Started})
-		case StateFailed, StateCancelled:
+		case StateFailed, StateCancelled, StateMigrated:
 			recs = append(recs, walRecord{Type: recState, ID: j.ID, State: j.State, Error: j.ErrMsg, At: j.Finished})
 		case StateDone:
 			recs = append(recs, walRecord{Type: recResult, ID: j.ID, State: StateDone, Body: j.ResultBody, At: j.Finished})
@@ -441,8 +444,11 @@ func (m *Manager) Submit(kind, class string, canonical []byte) (Info, bool, erro
 	}
 	j, ok := m.jobs[id]
 	switch {
-	case ok && (j.State == StateFailed || j.State == StateCancelled):
-		// Revive. The class sticks to the original submission.
+	case ok && (j.State == StateFailed || j.State == StateCancelled || j.State == StateMigrated):
+		// Revive (for migrated jobs: the work moved away but a client asked
+		// this backend again, so it runs here afresh — determinism makes the
+		// duplicate execution harmless). The class sticks to the original
+		// submission.
 		now := m.opts.Clock()
 		if err := m.wal.Append(walRecord{Type: recState, ID: id, State: StateQueued, At: now}); err != nil {
 			m.mu.Unlock()
@@ -452,6 +458,7 @@ func (m *Manager) Submit(kind, class string, canonical []byte) (Info, bool, erro
 		j.ErrMsg = ""
 		j.Finished = time.Time{}
 		j.cancel.Store(false)
+		j.migrateOut.Store(false)
 		j.events = newEventLog(m.opts.Clock)
 		if err := m.sched.Enqueue(j); err != nil {
 			m.mu.Unlock()
@@ -534,7 +541,7 @@ func (m *Manager) runner() {
 func (m *Manager) runJob(j *job) {
 	m.mu.Lock()
 	if j.cancel.Load() {
-		m.finishLocked(j, StateCancelled, nil, "")
+		m.finishLocked(j, cancelOutcome(j), nil, "")
 		m.mu.Unlock()
 		return
 	}
@@ -570,16 +577,24 @@ func (m *Manager) runJob(j *job) {
 			notify = func() { cb(id, body) }
 		}
 	case errors.Is(err, errCancelled):
-		m.finishLocked(j, StateCancelled, nil, "")
+		m.finishLocked(j, cancelOutcome(j), nil, "")
 	case errors.Is(err, errPreempted):
 		j.State = StateCheckpointed
 		j.Preemptions++
 		m.metrics.preemptions.Add(1)
 		_ = m.wal.Append(walRecord{Type: recState, ID: j.ID, State: StateCheckpointed, Point: j.Point, Cycle: j.Cycle, At: m.opts.Clock()})
 		j.events.emit(StateCheckpointed, j.Point, j.Cycle, "")
-		// Enqueue fails only once the scheduler is closed (drain); the WAL
-		// record above re-admits the job on the next Open.
-		_ = m.sched.Enqueue(j)
+		if j.exporting.Load() > 0 {
+			// An Export is waiting for exactly this park: hand the job over
+			// instead of racing it back into the scheduler, where an idle
+			// runner would re-dispatch it before the exporter could grab it.
+			// The exporter re-admits the job once its envelope is captured.
+			j.parked = true
+		} else {
+			// Enqueue fails only once the scheduler is closed (drain); the
+			// WAL record above re-admits the job on the next Open.
+			_ = m.sched.Enqueue(j)
+		}
 	default:
 		m.finishLocked(j, StateFailed, nil, err.Error())
 	}
@@ -587,6 +602,15 @@ func (m *Manager) runJob(j *job) {
 	if notify != nil {
 		notify()
 	}
+}
+
+// cancelOutcome maps a cancelled job to its terminal state: a cancel raised
+// by Release is a migration handoff, not a user cancellation.
+func cancelOutcome(j *job) State {
+	if j.migrateOut.Load() {
+		return StateMigrated
+	}
+	return StateCancelled
 }
 
 // finishLocked moves j to a terminal state, persists the transition, removes
@@ -604,9 +628,12 @@ func (m *Manager) finishLocked(j *job, state State, body []byte, errMsg string) 
 		m.metrics.completed.Add(1)
 	} else {
 		_ = m.wal.Append(walRecord{Type: recState, ID: j.ID, State: state, Error: errMsg, At: now})
-		if state == StateFailed {
+		switch state {
+		case StateFailed:
 			m.metrics.failed.Add(1)
-		} else {
+		case StateMigrated:
+			m.metrics.migrated.Add(1)
+		default:
 			m.metrics.cancelled.Add(1)
 		}
 	}

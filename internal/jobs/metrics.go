@@ -31,6 +31,12 @@ type Metrics struct {
 	checkpoints  atomic.Int64 // snapshots persisted
 	ckptReclaims atomic.Int64 // checkpoint files swept (terminal, unknown or unreadable)
 
+	migrated        atomic.Int64 // jobs released after a verified handoff elsewhere
+	exports         atomic.Int64 // checkpoint envelopes served
+	imports         atomic.Int64 // foreign envelopes adopted as local jobs
+	importsDeduped  atomic.Int64 // imports coalesced onto an existing job by content key
+	importsRejected atomic.Int64 // envelopes rejected by validation
+
 	walRecords         atomic.Int64
 	walReplayedRecords atomic.Int64
 	walReplays         atomic.Int64
@@ -76,6 +82,21 @@ func (m *Metrics) WALReplayedRecords() int64 { return m.walReplayedRecords.Load(
 // CheckpointFilesReclaimed returns the swept checkpoint-file count.
 func (m *Metrics) CheckpointFilesReclaimed() int64 { return m.ckptReclaims.Load() }
 
+// Migrated returns how many jobs finished locally as migrated-away.
+func (m *Metrics) Migrated() int64 { return m.migrated.Load() }
+
+// Exports returns the served checkpoint-envelope count.
+func (m *Metrics) Exports() int64 { return m.exports.Load() }
+
+// Imports returns the adopted foreign-envelope count.
+func (m *Metrics) Imports() int64 { return m.imports.Load() }
+
+// ImportsDeduped returns imports coalesced onto an existing job.
+func (m *Metrics) ImportsDeduped() int64 { return m.importsDeduped.Load() }
+
+// ImportsRejected returns envelopes rejected by validation.
+func (m *Metrics) ImportsRejected() int64 { return m.importsRejected.Load() }
+
 // WritePrometheus appends every gcjobs_* series to w. depths is the live
 // per-class queue depth (sampled at scrape time); it is written in sorted
 // class order so output is deterministic.
@@ -118,6 +139,21 @@ func (m *Metrics) WritePrometheus(w io.Writer, depths map[string]int) error {
 	add("# HELP gcjobs_cancelled_total Jobs cancelled by DELETE.")
 	add("# TYPE gcjobs_cancelled_total counter")
 	add("gcjobs_cancelled_total %d", m.cancelled.Load())
+	add("# HELP gcjobs_migrated_total Jobs released locally after a verified handoff to another backend.")
+	add("# TYPE gcjobs_migrated_total counter")
+	add("gcjobs_migrated_total %d", m.migrated.Load())
+	add("# HELP gcjobs_checkpoint_exports_total Checkpoint envelopes served for migration.")
+	add("# TYPE gcjobs_checkpoint_exports_total counter")
+	add("gcjobs_checkpoint_exports_total %d", m.exports.Load())
+	add("# HELP gcjobs_checkpoint_imports_total Foreign checkpoint envelopes adopted as local jobs.")
+	add("# TYPE gcjobs_checkpoint_imports_total counter")
+	add("gcjobs_checkpoint_imports_total %d", m.imports.Load())
+	add("# HELP gcjobs_checkpoint_imports_deduped_total Imports coalesced onto an existing job by content key.")
+	add("# TYPE gcjobs_checkpoint_imports_deduped_total counter")
+	add("gcjobs_checkpoint_imports_deduped_total %d", m.importsDeduped.Load())
+	add("# HELP gcjobs_checkpoint_imports_rejected_total Checkpoint envelopes rejected by validation.")
+	add("# TYPE gcjobs_checkpoint_imports_rejected_total counter")
+	add("gcjobs_checkpoint_imports_rejected_total %d", m.importsRejected.Load())
 	add("# HELP gcjobs_preemptions_total Checkpoint-boundary yields to higher-priority work or drain.")
 	add("# TYPE gcjobs_preemptions_total counter")
 	add("gcjobs_preemptions_total %d", m.preemptions.Load())

@@ -121,9 +121,22 @@ func TestJobsEndpointValidation(t *testing.T) {
 			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
 		}
 	}
-	// GET on the collection endpoint is a method error.
-	if resp, _ := get(t, ts, "/v1/jobs"); resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /v1/jobs: status %d, want 405", resp.StatusCode)
+	// GET on the collection endpoint lists jobs (empty table here).
+	if resp, data := get(t, ts, "/v1/jobs"); resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /v1/jobs: status %d (%s), want 200", resp.StatusCode, data)
+	}
+	// Other methods on the collection endpoint are method errors.
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/jobs", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("PUT /v1/jobs: status %d, want 405", resp.StatusCode)
 	}
 }
 

@@ -20,10 +20,18 @@
 // mounted as well:
 //
 //	POST   /v1/jobs              submit a collect/sweep job (202 + job info)
+//	GET    /v1/jobs              list jobs (?active=true for non-terminal only)
 //	GET    /v1/jobs/{id}         job status
 //	GET    /v1/jobs/{id}/result  final result body (202 until done)
 //	GET    /v1/jobs/{id}/events  lifecycle events as a Server-Sent-Events stream
 //	DELETE /v1/jobs/{id}         cancel (at the next checkpoint boundary)
+//
+// The checkpoint-transfer endpoints make jobs portable between backends —
+// the primitive behind the elastic fleet tier's live migration:
+//
+//	GET    /v1/jobs/{id}/checkpoint  export the job's position as an envelope
+//	PUT    /v1/jobs/{id}/checkpoint  adopt a foreign envelope (idempotent by key)
+//	DELETE /v1/jobs/{id}/checkpoint  release the job here as migrated
 package server
 
 import (
