@@ -14,7 +14,7 @@
 //	        [-timeout 60s] [-hedge-quantile 0] [-hedge-min 20ms]
 //	        [-health-interval 2s] [-breaker-failures 3] [-breaker-cooldown 5s]
 //	        [-batch-inflight 4] [-export-wait 30s] [-registry-limit 4096]
-//	        [-drain 30s]
+//	        [-sweep-poll 250ms] [-drain 30s]
 //
 // Endpoints (same wire format as one gcserved):
 //
@@ -23,6 +23,11 @@
 //	POST /v1/batch     scatter-gather over the fleet, per-item results
 //	POST /v1/jobs      async jobs, routed by the job's content key
 //	GET  /v1/jobs/{id} job status/result/events, routed like the submit
+//	POST /v1/sweeps    sweep spec planned at the proxy, points fanned out
+//	                   to their cache-owning backends by content key
+//	GET  /v1/sweeps/{id}[/events]  progress + ranked frontier aggregated
+//	                   at the proxy; SSE with Last-Event-ID resume
+//	DELETE /v1/sweeps/{id}  cancel a running sweep
 //	GET  /v1/workloads proxied from any live backend
 //	GET  /healthz      fleet health (ok while any backend is admissible)
 //	GET  /metrics      fleet-level Prometheus counters
@@ -82,6 +87,7 @@ func parseOptions(args []string) (addr string, opts cluster.Options, drain time.
 		batchInflight  = fs.Int("batch-inflight", 4, "concurrent batch items per backend")
 		exportWait     = fs.Duration("export-wait", 30*time.Second, "how long a migration export waits for a running job's next snapshot boundary")
 		registryLimit  = fs.Int("registry-limit", 4096, "job submissions remembered for dead-owner rescue during rebalance")
+		sweepPoll      = fs.Duration("sweep-poll", 250*time.Millisecond, "per-point result poll interval of the fleet sweep engine")
 		drainFlag      = fs.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -119,6 +125,7 @@ func parseOptions(args []string) (addr string, opts cluster.Options, drain time.
 		BatchInflight:    *batchInflight,
 		ExportWait:       *exportWait,
 		RegistryLimit:    *registryLimit,
+		SweepPoll:        *sweepPoll,
 	}, *drainFlag, nil
 }
 

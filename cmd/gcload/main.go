@@ -3,6 +3,13 @@
 // status-code counts, latency percentiles and response byte-identity — so
 // "serves heavy traffic" is a measured claim, not a slogan.
 //
+// With -sweep <spec.json>, gcload instead submits the SweepSpace spec to
+// POST /v1/sweeps (gcserved or gcfleet), follows the sweep's SSE event
+// stream — reconnecting with Last-Event-ID if the stream drops — and
+// reports submit latency, completion time, and frontier-convergence
+// latency: how long after submit the ranked frontier last changed. The
+// final frontier is printed ranked.
+//
 // Each in-flight request rotates through -distinct seed variants; with the
 // default settings repeats of each variant verify the server's result cache
 // returns byte-identical bodies. 429 responses (deliberate backpressure)
@@ -24,8 +31,8 @@
 //
 //	gcload [-url http://localhost:8080] [-n 1000] [-c 100] [-qps 0]
 //	       [-bench jlisp] [-cores 8] [-scale 1] [-distinct 8]
-//	       [-sweep] [-batch 0] [-async] [-class C] [-poll 25ms]
-//	       [-timeout 30s]
+//	       [-sweepreq] [-batch 0] [-async] [-class C] [-poll 25ms]
+//	       [-sweep spec.json] [-timeout 30s]
 package main
 
 import (
@@ -46,20 +53,21 @@ import (
 )
 
 type loadConfig struct {
-	url      string
-	requests int
-	workers  int
-	qps      int
-	bench    string
-	cores    int
-	scale    int
-	distinct int
-	sweep    bool
-	batch    int
-	async    bool
-	class    string
-	poll     time.Duration
-	timeout  time.Duration
+	url       string
+	requests  int
+	workers   int
+	qps       int
+	bench     string
+	cores     int
+	scale     int
+	distinct  int
+	sweepReq  bool
+	sweepSpec string // path to a SweepSpace JSON file (-sweep mode)
+	batch     int
+	async     bool
+	class     string
+	poll      time.Duration
+	timeout   time.Duration
 }
 
 func main() {
@@ -72,7 +80,8 @@ func main() {
 	flag.IntVar(&cfg.cores, "cores", 8, "coprocessor cores per request")
 	flag.IntVar(&cfg.scale, "scale", 1, "workload scale per request")
 	flag.IntVar(&cfg.distinct, "distinct", 8, "distinct seed variants to rotate through")
-	flag.BoolVar(&cfg.sweep, "sweep", false, "POST /v1/sweep instead of /v1/collect")
+	flag.BoolVar(&cfg.sweepReq, "sweepreq", false, "POST /v1/sweep instead of /v1/collect")
+	flag.StringVar(&cfg.sweepSpec, "sweep", "", "submit this SweepSpace spec file to POST /v1/sweeps and report frontier convergence")
 	flag.IntVar(&cfg.batch, "batch", 0, "POST /v1/batch with this many mixed items per request (0 = single requests)")
 	flag.BoolVar(&cfg.async, "async", false, "submit jobs via POST /v1/jobs and poll each result to completion")
 	flag.StringVar(&cfg.class, "class", "", "job class for -async submissions (empty = server default)")
@@ -80,6 +89,17 @@ func main() {
 	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request client timeout (in -async mode also the per-job completion deadline)")
 	flag.Parse()
 
+	if cfg.sweepSpec != "" {
+		ok, err := runSweepMode(cfg, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gcload:", err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 	rep, err := runLoad(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gcload:", err)
@@ -146,7 +166,7 @@ func percentileOf(lats []time.Duration, q float64) time.Duration {
 
 func (r *report) print(w io.Writer) {
 	endpoint := "/v1/collect"
-	if r.cfg.sweep {
+	if r.cfg.sweepReq {
 		endpoint = "/v1/sweep"
 	}
 	if r.cfg.batch > 0 {
@@ -219,7 +239,7 @@ func (cfg *loadConfig) body(v int) ([]byte, error) {
 		return cfg.asyncBody(v)
 	}
 	seed := int64(v + 1)
-	if cfg.sweep {
+	if cfg.sweepReq {
 		req := hwgc.SweepRequest{Bench: cfg.bench, Scale: cfg.scale, Seed: seed,
 			Config: hwgc.Config{Cores: cfg.cores}}
 		return req.CanonicalJSON()
@@ -240,7 +260,7 @@ func (cfg *loadConfig) asyncBody(v int) ([]byte, error) {
 		Sweep   *hwgc.SweepRequest   `json:",omitempty"`
 		Class   string               `json:",omitempty"`
 	}{Class: cfg.class}
-	if cfg.sweep {
+	if cfg.sweepReq {
 		sub.Sweep = &hwgc.SweepRequest{Bench: cfg.bench, Scale: cfg.scale, Seed: seed,
 			Config: hwgc.Config{Cores: cfg.cores}}
 		if _, err := sub.Sweep.Key(); err != nil {
@@ -308,7 +328,7 @@ func runLoad(cfg loadConfig) (*report, error) {
 		return nil, fmt.Errorf("-async needs -poll > 0")
 	}
 	endpoint := cfg.url + "/v1/collect"
-	if cfg.sweep {
+	if cfg.sweepReq {
 		endpoint = cfg.url + "/v1/sweep"
 	}
 	if cfg.batch > 0 {

@@ -2,7 +2,11 @@ package main
 
 import (
 	"context"
+	"io"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -197,4 +201,67 @@ type testWriter struct{ t *testing.T }
 func (w testWriter) Write(p []byte) (int, error) {
 	w.t.Log(string(p))
 	return len(p), nil
+}
+
+// TestSweepModeAgainstLiveServer drives -sweep end to end: submit a small
+// spec to a jobs-enabled gcserved, follow the SSE stream to the terminal
+// event and verify the report covers convergence and the top frontier. A
+// second run must dedupe onto the finished sweep and still succeed.
+func TestSweepModeAgainstLiveServer(t *testing.T) {
+	srv, err := server.New(server.Options{Workers: 2, JobsDir: t.TempDir(), JobRunners: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("server drain: %v", err)
+		}
+	}()
+
+	spec := filepath.Join(t.TempDir(), "spec.json")
+	body := `{"Benches":["jlisp"],"Seeds":[7],"Base":{},"Axes":[{"Field":"Cores","Values":[1,2,4]}]}`
+	if err := os.WriteFile(spec, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := loadConfig{url: ts.URL, sweepSpec: spec, timeout: 60 * time.Second}
+	var out strings.Builder
+	ok, err := runSweepMode(cfg, &out)
+	if err != nil {
+		t.Fatalf("sweep mode: %v\n%s", err, out.String())
+	}
+	if !ok {
+		t.Fatalf("sweep mode reported failure:\n%s", out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"3 points", "objective speedup-per-core", "accepted",
+		"done in", "completed 3  failed 0", "frontier converged", "#1 bench=jlisp"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	// Resubmitting the identical space must coalesce onto the finished
+	// sweep: same ID, zero new jobs, and the done event replays immediately.
+	out.Reset()
+	ok, err = runSweepMode(cfg, &out)
+	if err != nil || !ok {
+		t.Fatalf("deduped sweep mode: ok=%v err=%v\n%s", ok, err, out.String())
+	}
+	if !strings.Contains(out.String(), "deduped onto existing sweep") {
+		t.Errorf("second run did not dedupe:\n%s", out.String())
+	}
+
+	// Mode exclusions are errors, not silent fallbacks.
+	if _, err := runSweepMode(loadConfig{sweepSpec: spec, batch: 4}, io.Discard); err == nil {
+		t.Error("-sweep with -batch accepted")
+	}
+	if _, err := runSweepMode(loadConfig{sweepSpec: spec, async: true}, io.Discard); err == nil {
+		t.Error("-sweep with -async accepted")
+	}
 }

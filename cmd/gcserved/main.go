@@ -30,6 +30,14 @@
 // jobs checkpoint every -checkpoint-cycles and yield to higher-priority
 // classes at those boundaries, and a restarted server resumes unfinished
 // jobs with byte-identical results.
+//
+// The job tier also mounts parameter-space sweeps (see internal/sweep):
+// POST /v1/sweeps expands a versioned SweepSpace spec into canonical
+// collect points, dedupes against cached results and fans the remainder
+// out as jobs; GET /v1/sweeps/{id} reports progress plus the current
+// ranked frontier; GET /v1/sweeps/{id}/events streams frontier updates
+// over SSE with Last-Event-ID resume; DELETE /v1/sweeps/{id} cancels.
+// Sweep state rides the jobs WAL, so a restart resumes unfinished sweeps.
 package main
 
 import (

@@ -18,6 +18,11 @@
 //     the same ring owner as the equivalent synchronous request (the job ID
 //     is the content key), including a streaming SSE pass-through for
 //     /v1/jobs/{id}/events;
+//   - parameter-space sweeps (/v1/sweeps*): the proxy plans a SweepSpace
+//     with the same canonical expansion the backends use, routes every
+//     point's job to its cache-owning backend by content key, and
+//     aggregates the ranked frontier locally — byte-identical to what a
+//     single backend would serve for the same space;
 //   - fleet-level Prometheus metrics on /metrics.
 //
 // The design follows the paper's synchronization discipline at fleet
@@ -93,6 +98,9 @@ type Options struct {
 	// ExportWait bounds how long a migration export waits for a running job
 	// to reach its next snapshot boundary (default 30s).
 	ExportWait time.Duration
+	// SweepPoll is the per-point result poll interval of the fleet sweep
+	// engine (default 250ms; tests shrink it).
+	SweepPoll time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -138,6 +146,9 @@ func (o Options) withDefaults() Options {
 	if o.ExportWait <= 0 {
 		o.ExportWait = 30 * time.Second
 	}
+	if o.SweepPoll <= 0 {
+		o.SweepPoll = 250 * time.Millisecond
+	}
 	return o
 }
 
@@ -178,6 +189,7 @@ type Fleet struct {
 	registry *jobRegistry     // canonical submit bodies, for dead-owner rescue
 	emetrics *elastic.Metrics // gcelastic_* counters, appended to /metrics
 	migrator *elastic.Migrator
+	sweeps   *fleetSweeps // proxy-side sweep planner/aggregator
 
 	rebalanceMu sync.Mutex // serializes migration passes
 
@@ -245,12 +257,15 @@ func New(opts Options) (*Fleet, error) {
 		Logf:       log.Printf,
 		ExportWait: opts.ExportWait,
 	}
+	f.sweeps = newFleetSweeps(f)
 	f.mux = http.NewServeMux()
 	f.mux.HandleFunc("/v1/collect", f.handleCollect)
 	f.mux.HandleFunc("/v1/sweep", f.handleSweep)
 	f.mux.HandleFunc("/v1/batch", f.handleBatch)
 	f.mux.HandleFunc("/v1/jobs", f.handleJobs)
 	f.mux.HandleFunc("/v1/jobs/", f.handleJobByID)
+	f.mux.HandleFunc("/v1/sweeps", f.handleSweeps)
+	f.mux.HandleFunc("/v1/sweeps/", f.handleSweepByID)
 	f.mux.HandleFunc("/v1/workloads", f.handleWorkloads)
 	f.mux.HandleFunc("/v1/admin/backends", f.handleAdminBackends)
 	f.mux.HandleFunc("/v1/admin/backends/", f.handleAdminBackendByID)
@@ -272,9 +287,11 @@ func (f *Fleet) Start() {
 	})
 }
 
-// Close stops the health loop and waits for it.
+// Close stops the health loop and the sweep point drivers and waits for
+// both.
 func (f *Fleet) Close() {
 	f.stopOnce.Do(func() { close(f.stop) })
+	f.sweeps.close()
 	f.wg.Wait()
 }
 

@@ -1,0 +1,92 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func drainClose(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Aux records must survive a restart (same WAL), keep their order and
+// payloads, and filter by tag.
+func TestJobsAuxRecordsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(Options{Dir: dir, Runners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendAux("", "x", nil); err == nil {
+		t.Fatal("AppendAux accepted an empty tag")
+	}
+	if err := m.AppendAux("sweep", "s1", []byte(`{"n":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendAux("other", "o1", []byte("misc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendAux("sweep", "s2", []byte(`{"n":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	drainClose(t, m)
+
+	m2, err := Open(Options{Dir: dir, Runners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainClose(t, m2)
+	sweeps := m2.AuxRecords("sweep")
+	if len(sweeps) != 2 || sweeps[0].ID != "s1" || sweeps[1].ID != "s2" {
+		t.Fatalf("sweep aux records after restart: %+v", sweeps)
+	}
+	if string(sweeps[1].Payload) != `{"n":2}` {
+		t.Fatalf("payload = %q", sweeps[1].Payload)
+	}
+	if all := m2.AuxRecords(""); len(all) != 3 || all[1].Tag != "other" {
+		t.Fatalf("all aux records after restart: %+v", all)
+	}
+	if err := m2.AppendAux("sweep", "s3", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m2.AuxRecords("sweep")); got != 3 {
+		t.Fatalf("sweep aux records = %d, want 3", got)
+	}
+}
+
+// Compaction (the startup Rewrite) must retain only the newest maxAuxRetain
+// aux records.
+func TestJobsAuxCompactionRetention(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(Options{Dir: dir, Runners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := maxAuxRetain + 50
+	for i := 0; i < total; i++ {
+		if err := m.AppendAux("t", fmt.Sprintf("id-%d", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainClose(t, m)
+
+	m2, err := Open(Options{Dir: dir, Runners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainClose(t, m2)
+	recs := m2.AuxRecords("t")
+	if len(recs) != maxAuxRetain {
+		t.Fatalf("retained %d aux records, want %d", len(recs), maxAuxRetain)
+	}
+	if recs[0].ID != "id-50" || recs[len(recs)-1].ID != fmt.Sprintf("id-%d", total-1) {
+		t.Fatalf("retention kept wrong window: first %s last %s", recs[0].ID, recs[len(recs)-1].ID)
+	}
+}

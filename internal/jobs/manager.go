@@ -120,12 +120,29 @@ type Manager struct {
 	mu       sync.Mutex
 	wal      *WAL
 	jobs     map[string]*job
-	order    []string // job IDs in submission order (compaction retention)
+	order    []string    // job IDs in submission order (compaction retention)
+	aux      []AuxRecord // auxiliary subsystem records, in append order
 	running  map[string]*job
 	closed   bool
 	draining chan struct{}
 	wg       sync.WaitGroup
 }
+
+// AuxRecord is one auxiliary record riding the jobs WAL: a durable,
+// replayable note owned by a subsystem layered on the job tier (the sweep
+// coordinator persists sweep submissions and cancellations this way, so a
+// crash mid-sweep recovers without a second log to fsync or keep
+// crash-consistent with this one).
+type AuxRecord struct {
+	Tag     string
+	ID      string
+	Payload []byte
+	At      time.Time
+}
+
+// maxAuxRetain bounds how many auxiliary records survive WAL compaction at
+// startup; the newest win, mirroring RetainTerminal for jobs.
+const maxAuxRetain = 4096
 
 // runCtx carries per-dispatch bookkeeping through the runner's call chain.
 type runCtx struct {
@@ -279,6 +296,11 @@ func (m *Manager) recover(recs []walRecord) error {
 			j.State = StateDone
 			j.ResultBody = rec.Body
 			j.Finished = rec.At
+		case recAux:
+			if rec.Kind == "" {
+				return fmt.Errorf("jobs: WAL aux record missing tag")
+			}
+			m.aux = append(m.aux, AuxRecord{Tag: rec.Kind, ID: rec.ID, Payload: rec.Body, At: rec.At})
 		default:
 			return fmt.Errorf("jobs: unknown WAL record type %d", rec.Type)
 		}
@@ -415,6 +437,12 @@ func (m *Manager) compact(rewrite bool) error {
 		case StateDone:
 			recs = append(recs, walRecord{Type: recResult, ID: j.ID, State: StateDone, Body: j.ResultBody, At: j.Finished})
 		}
+	}
+	if drop := len(m.aux) - maxAuxRetain; drop > 0 {
+		m.aux = append([]AuxRecord(nil), m.aux[drop:]...)
+	}
+	for _, a := range m.aux {
+		recs = append(recs, walRecord{Type: recAux, ID: a.ID, Kind: a.Tag, Body: a.Payload, At: a.At})
 	}
 	return m.wal.Rewrite(recs)
 }
@@ -889,6 +917,40 @@ func (m *Manager) Subscribe(id string) ([]Event, <-chan Event, func(), error) {
 	m.mu.Unlock()
 	history, ch := ev.subscribe()
 	return history, ch, func() { ev.unsubscribe(ch) }, nil
+}
+
+// AppendAux durably appends one auxiliary record to the jobs WAL. The
+// record is fsynced before AppendAux returns, rides compaction (newest
+// maxAuxRetain retained) and is replayed in order by the next Open.
+func (m *Manager) AppendAux(tag, id string, payload []byte) error {
+	if tag == "" {
+		return fmt.Errorf("jobs: aux record needs a tag")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrDraining
+	}
+	a := AuxRecord{Tag: tag, ID: id, Payload: append([]byte(nil), payload...), At: m.opts.Clock()}
+	if err := m.wal.Append(walRecord{Type: recAux, ID: a.ID, Kind: a.Tag, Body: a.Payload, At: a.At}); err != nil {
+		return err
+	}
+	m.aux = append(m.aux, a)
+	return nil
+}
+
+// AuxRecords returns the auxiliary records carrying tag (every record when
+// tag is empty), in append order.
+func (m *Manager) AuxRecords(tag string) []AuxRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []AuxRecord
+	for _, a := range m.aux {
+		if tag == "" || a.Tag == tag {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // Depths returns the queued-job count per class.

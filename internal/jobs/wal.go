@@ -36,6 +36,7 @@ const (
 	recState                   // a state transition: id, state, point, cycle, error
 	recPoint                   // a completed sweep point: id, point index, RunResult JSON
 	recResult                  // a final result body: id, encoded response bytes
+	recAux                     // an auxiliary subsystem record: kind holds the tag, body the payload
 )
 
 // walRecord is the decoded form of one WAL record. Unused fields stay zero

@@ -263,5 +263,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if s.jobs != nil {
 			_ = s.jobs.WriteMetrics(w)
 		}
+		if s.sweeps != nil {
+			_ = s.sweeps.WriteMetrics(w)
+		}
 	})(w, r)
 }

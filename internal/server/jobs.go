@@ -341,10 +341,12 @@ func (s *Server) serveJobResult(w http.ResponseWriter, id string) {
 	}
 }
 
-// serveJobEvents streams a job's lifecycle as Server-Sent Events: the full
+// serveJobEvents streams a job's lifecycle as Server-Sent Events: the
 // replayable history first, then live transitions until the job reaches a
 // terminal state or the client disconnects. Every event carries its Seq as
-// the SSE id, the State as the event name, and the Event JSON as data.
+// the SSE id, the State as the event name, and the Event JSON as data. A
+// reconnecting client resumes from its Last-Event-ID instead of replaying
+// from zero.
 func (s *Server) serveJobEvents(w http.ResponseWriter, r *http.Request, id string) {
 	history, live, stop, err := s.jobs.Subscribe(id)
 	if err != nil {
@@ -357,6 +359,7 @@ func (s *Server) serveJobEvents(w http.ResponseWriter, r *http.Request, id strin
 		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
 		return
 	}
+	resumeFrom := lastEventID(r)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -374,6 +377,9 @@ func (s *Server) serveJobEvents(w http.ResponseWriter, r *http.Request, id strin
 		return ev.State.Terminal()
 	}
 	for _, ev := range history {
+		if ev.Seq <= resumeFrom {
+			continue
+		}
 		if write(ev) {
 			return
 		}

@@ -32,6 +32,13 @@
 //	GET    /v1/jobs/{id}/checkpoint  export the job's position as an envelope
 //	PUT    /v1/jobs/{id}/checkpoint  adopt a foreign envelope (idempotent by key)
 //	DELETE /v1/jobs/{id}/checkpoint  release the job here as migrated
+//
+// The sweep engine (internal/sweep) also rides the job tier:
+//
+//	POST   /v1/sweeps               submit a SweepSpace (202 + sweep info)
+//	GET    /v1/sweeps/{id}          progress + current ranked frontier
+//	GET    /v1/sweeps/{id}/events   per-point completions and frontier updates (SSE)
+//	DELETE /v1/sweeps/{id}          cancel outstanding points
 package server
 
 import (
@@ -45,6 +52,7 @@ import (
 
 	"hwgc"
 	"hwgc/internal/jobs"
+	"hwgc/internal/sweep"
 )
 
 // Options configures a Server. Zero values select the defaults.
@@ -146,6 +154,10 @@ type Server struct {
 	// is set. Its runner pool is separate from the synchronous workers.
 	jobs *jobs.Manager
 
+	// sweeps is the parameter-space exploration coordinator, non-nil when
+	// the job tier is mounted. Sweep state rides the jobs WAL.
+	sweeps *sweep.Coordinator
+
 	startOnce sync.Once
 	stopOnce  sync.Once
 
@@ -204,6 +216,18 @@ func New(opts Options) (*Server, error) {
 		s.jobs = mgr
 		s.mux.HandleFunc("/v1/jobs", s.handleJobs)
 		s.mux.HandleFunc("/v1/jobs/", s.handleJobByID)
+		// The sweep coordinator plans spaces into collect jobs and dedupes
+		// points against the same result cache the job tier feeds.
+		coord, err := sweep.New(sweep.Options{Jobs: mgr, Lookup: s.cache.Get})
+		if err != nil {
+			return nil, err
+		}
+		if err := coord.Recover(); err != nil {
+			return nil, err
+		}
+		s.sweeps = coord
+		s.mux.HandleFunc("/v1/sweeps", s.handleSweeps)
+		s.mux.HandleFunc("/v1/sweeps/", s.handleSweepByID)
 	}
 	return s, nil
 }
@@ -265,6 +289,9 @@ func (s *Server) Cache() *Cache { return s.cache }
 // Jobs exposes the async job manager (nil when JobsDir is unset).
 func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
+// Sweeps exposes the sweep coordinator (nil when JobsDir is unset).
+func (s *Server) Sweeps() *sweep.Coordinator { return s.sweeps }
+
 // Shutdown drains gracefully: admission stops (new jobs get 503), every
 // job already admitted is executed — except checkpointed collect jobs,
 // which persist their state at the next snapshot boundary and stop with
@@ -282,6 +309,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	// Stop the sweep watchers before draining the job tier they watch;
+	// in-flight sweeps stay durable in the WAL and resume on the next Open.
+	if s.sweeps != nil {
+		s.sweeps.Close()
+	}
 	// Drain the async job tier in parallel with the worker pool: running
 	// jobs stop at their next checkpoint boundary (durably, in the WAL), so
 	// this is bounded by one checkpoint interval, not by job length.

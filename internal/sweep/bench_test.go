@@ -1,0 +1,62 @@
+package sweep
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"hwgc"
+)
+
+// BenchmarkSweepPlanner measures the pure planning cost of a representative
+// design-space sweep — canonicalization, cross-product expansion with a
+// constraint, per-point canonical encoding and content addressing — without
+// executing any point.
+//
+// Besides ns/op it reports two deterministic metrics that the benchdiff
+// gate pins exactly:
+//
+//   - plan-points: the planned point count. Any change to expansion,
+//     constraint evaluation or default resolution that alters coverage
+//     shifts this.
+//   - plan-order-hash: an FNV-32a hash of the concatenated point keys in
+//     plan order. The plan order is the contract the fleet relies on to
+//     dedupe and aggregate across backends, so any reorder — a changed
+//     axis sort, a different odometer direction, a canonicalization tweak
+//     that shifts content keys — trips the gate even when the count stays
+//     flat.
+func BenchmarkSweepPlanner(b *testing.B) {
+	var points int
+	var orderHash uint32
+	for i := 0; i < b.N; i++ {
+		lat := int64(1)
+		space := &hwgc.SweepSpace{
+			Benches: []string{"jlisp", "search", "db"},
+			Scales:  []int{1, 2},
+			Seeds:   []int64{1, 2},
+			Axes: []hwgc.SweepAxis{
+				{Field: "Cores", Values: []int64{1, 2, 4, 8, 16, 32}},
+				{Field: "MemLatency", Values: []int64{10, 20, 40}},
+				{Field: "MemBanks", Values: []int64{2, 4, 8}},
+			},
+			// The paper-style sanity constraints: enough banks to feed the
+			// cores, and no single-bank many-core corners.
+			Constraints: []hwgc.SweepConstraint{
+				{A: "MemBanks", Op: ">=", B: "Cores"},
+				{A: "MemLatency", Op: ">", Value: &lat},
+			},
+			Objective: hwgc.ObjectiveSpeedupPerCore,
+		}
+		pts, err := space.Points()
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := fnv.New32a()
+		for _, p := range pts {
+			_, _ = h.Write([]byte(p.Key))
+		}
+		points = len(pts)
+		orderHash = h.Sum32()
+	}
+	b.ReportMetric(float64(points), "plan-points")
+	b.ReportMetric(float64(orderHash), "plan-order-hash")
+}

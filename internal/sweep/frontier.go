@@ -1,0 +1,134 @@
+// Package sweep implements the parameter-space exploration engine behind
+// the /v1/sweeps endpoints: a SweepSpace (root codec) is expanded into
+// canonical CollectRequest points, each point is satisfied from the result
+// cache or executed as a gcjobs job, and completions stream out as SSE
+// events alongside a ranked frontier under a user-chosen objective.
+//
+// The frontier computation here is a pure function of the completed-point
+// set, so a fleet proxy aggregating points completed on different backends
+// derives a frontier byte-identical to a single node running the same
+// space — the chaos acceptance criterion for the subsystem.
+package sweep
+
+import (
+	"encoding/json"
+	"sort"
+
+	"hwgc"
+)
+
+// PointOutcome is one completed sweep point: its planned position, content
+// key, the canonical request that ran, and the deterministic result.
+type PointOutcome struct {
+	Index  int
+	Key    string
+	Req    hwgc.CollectRequest
+	Result hwgc.RunResult
+}
+
+// FrontierEntry is one ranked row of a sweep's frontier.
+type FrontierEntry struct {
+	Rank   int
+	Key    string
+	Bench  string
+	Scale  int
+	Seed   int64
+	Cores  int
+	Cycles int64
+	// Value is the objective score the entry ranks by: speedup (per core)
+	// over the group baseline, negated cycles, or words per cycle.
+	Value float64
+}
+
+// groupKey identifies the baseline group for the speedup objectives: every
+// point that differs only in Cores shares a group, and the group's
+// smallest completed core count is the baseline (an exact T(1) whenever
+// the space includes a single-core point).
+func groupKey(req *hwgc.CollectRequest) string {
+	r := *req
+	r.Config.Cores = 0
+	b, err := json.Marshal(r)
+	if err != nil {
+		return r.Bench // unreachable for canonical requests; degrade to bench grouping
+	}
+	return string(b)
+}
+
+// Frontier ranks the completed points under objective and returns the top
+// topK entries. It is deterministic: identical outcome sets (in any order)
+// produce identical frontiers, byte for byte once JSON-encoded. Points
+// whose objective is undefined with the current completions (a speedup
+// group whose only member is its own baseline still scores 1.0; a zero
+// Cycles result is skipped) are omitted.
+func Frontier(objective string, topK int, outcomes []PointOutcome) []FrontierEntry {
+	if topK <= 0 || len(outcomes) == 0 {
+		return nil
+	}
+	pts := append([]PointOutcome(nil), outcomes...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Key < pts[j].Key })
+
+	var base map[string]*PointOutcome
+	if objective == hwgc.ObjectiveSpeedup || objective == hwgc.ObjectiveSpeedupPerCore {
+		base = make(map[string]*PointOutcome)
+		for i := range pts {
+			p := &pts[i]
+			g := groupKey(&p.Req)
+			if b, ok := base[g]; !ok || p.Req.Config.Cores < b.Req.Config.Cores {
+				base[g] = p
+			}
+		}
+	}
+
+	entries := make([]FrontierEntry, 0, len(pts))
+	for i := range pts {
+		p := &pts[i]
+		cycles := p.Result.Stats.Cycles
+		if cycles <= 0 {
+			continue
+		}
+		var value float64
+		switch objective {
+		case hwgc.ObjectiveMinCycles:
+			value = -float64(cycles)
+		case hwgc.ObjectiveWordsPerCycle:
+			value = float64(p.Result.LiveWords) / float64(cycles)
+		case hwgc.ObjectiveSpeedup, hwgc.ObjectiveSpeedupPerCore:
+			b := base[groupKey(&p.Req)]
+			if b.Result.Stats.Cycles <= 0 {
+				continue
+			}
+			value = float64(b.Result.Stats.Cycles) / float64(cycles)
+			if objective == hwgc.ObjectiveSpeedupPerCore {
+				value *= float64(b.Req.Config.Cores) / float64(p.Req.Config.Cores)
+			}
+		default:
+			continue
+		}
+		entries = append(entries, FrontierEntry{
+			Key:    p.Key,
+			Bench:  p.Req.Bench,
+			Scale:  p.Req.Scale,
+			Seed:   p.Req.Seed,
+			Cores:  p.Req.Config.Cores,
+			Cycles: cycles,
+			Value:  value,
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := &entries[i], &entries[j]
+		if a.Value != b.Value {
+			return a.Value > b.Value
+		}
+		if a.Cycles != b.Cycles {
+			return a.Cycles < b.Cycles
+		}
+		return a.Key < b.Key
+	})
+	if len(entries) > topK {
+		entries = entries[:topK]
+	}
+	for i := range entries {
+		entries[i].Rank = i + 1
+	}
+	return entries
+}

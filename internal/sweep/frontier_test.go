@@ -1,0 +1,121 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"hwgc"
+)
+
+func mkOutcome(t *testing.T, bench string, seed int64, cores int, cycles int64, liveWords int) PointOutcome {
+	t.Helper()
+	req := hwgc.CollectRequest{Bench: bench, Seed: seed, Config: hwgc.Config{Cores: cores}}
+	canonical, err := req.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res hwgc.RunResult
+	res.Stats.Cycles = cycles
+	res.LiveWords = liveWords
+	return PointOutcome{Key: hwgc.KeyBytes(canonical), Req: req, Result: res}
+}
+
+// The frontier must be a pure function of the completed set: any completion
+// order yields the same ranking, byte for byte.
+func TestFrontierOrderInvariant(t *testing.T) {
+	var outcomes []PointOutcome
+	for _, bench := range []string{"jlisp", "search"} {
+		for i, cores := range []int{1, 2, 4, 8} {
+			cycles := int64(100000 / (i + 1))
+			outcomes = append(outcomes, mkOutcome(t, bench, 3, cores, cycles, 5000))
+		}
+	}
+	want, err := json.Marshal(Frontier(hwgc.ObjectiveSpeedupPerCore, 16, outcomes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]PointOutcome(nil), outcomes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got, err := json.Marshal(Frontier(hwgc.ObjectiveSpeedupPerCore, 16, shuffled))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: frontier differs:\n%s\n%s", trial, got, want)
+		}
+	}
+}
+
+func TestFrontierSpeedupBaseline(t *testing.T) {
+	outcomes := []PointOutcome{
+		mkOutcome(t, "jlisp", 1, 1, 1000, 100),
+		mkOutcome(t, "jlisp", 1, 2, 500, 100),
+		mkOutcome(t, "jlisp", 1, 4, 400, 100),
+	}
+	fr := Frontier(hwgc.ObjectiveSpeedup, 16, outcomes)
+	if len(fr) != 3 {
+		t.Fatalf("frontier has %d entries, want 3", len(fr))
+	}
+	// Raw speedup: cores=4 leads with 1000/400 = 2.5.
+	if fr[0].Cores != 4 || fr[0].Value != 2.5 {
+		t.Fatalf("top entry %+v, want cores=4 value=2.5", fr[0])
+	}
+	// Per-core: cores=2 gives 2.0/2=1.0, cores=4 gives 2.5/4=0.625, the
+	// baseline itself scores 1.0; tie between cores=1 and cores=2 breaks by
+	// fewer cycles (cores=2).
+	pc := Frontier(hwgc.ObjectiveSpeedupPerCore, 16, outcomes)
+	if pc[0].Cores != 2 || pc[0].Value != 1.0 {
+		t.Fatalf("top per-core entry %+v, want cores=2 value=1.0", pc[0])
+	}
+	if pc[1].Cores != 1 || pc[2].Cores != 4 {
+		t.Fatalf("per-core order: %+v", pc)
+	}
+}
+
+func TestFrontierObjectivesAndTopK(t *testing.T) {
+	outcomes := []PointOutcome{
+		mkOutcome(t, "jlisp", 1, 1, 900, 900),
+		mkOutcome(t, "jlisp", 2, 1, 800, 100),
+		mkOutcome(t, "jlisp", 3, 1, 700, 350),
+	}
+	mc := Frontier(hwgc.ObjectiveMinCycles, 2, outcomes)
+	if len(mc) != 2 || mc[0].Cycles != 700 || mc[1].Cycles != 800 {
+		t.Fatalf("min-cycles frontier: %+v", mc)
+	}
+	if mc[0].Rank != 1 || mc[1].Rank != 2 {
+		t.Fatalf("ranks: %+v", mc)
+	}
+	wpc := Frontier(hwgc.ObjectiveWordsPerCycle, 16, outcomes)
+	if wpc[0].Seed != 1 || wpc[0].Value != 1.0 {
+		t.Fatalf("words-per-cycle top: %+v", wpc[0])
+	}
+	if got := Frontier(hwgc.ObjectiveMinCycles, 0, outcomes); got != nil {
+		t.Fatalf("topK=0 returned %+v", got)
+	}
+}
+
+// A speedup group with no single-core point uses its smallest completed
+// core count as baseline; groups never mix benches or seeds.
+func TestFrontierGrouping(t *testing.T) {
+	outcomes := []PointOutcome{
+		mkOutcome(t, "jlisp", 1, 2, 600, 100),
+		mkOutcome(t, "jlisp", 1, 8, 200, 100),
+		mkOutcome(t, "search", 1, 2, 6000, 100), // different bench: own group
+	}
+	fr := Frontier(hwgc.ObjectiveSpeedup, 16, outcomes)
+	byKey := map[int]float64{}
+	for _, e := range fr {
+		if e.Bench == "jlisp" {
+			byKey[e.Cores] = e.Value
+		} else if e.Value != 1.0 {
+			t.Fatalf("search group baseline should score 1.0: %+v", e)
+		}
+	}
+	if byKey[2] != 1.0 || byKey[8] != 3.0 {
+		t.Fatalf("jlisp speedups: %+v", byKey)
+	}
+}
