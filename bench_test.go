@@ -319,3 +319,38 @@ func BenchmarkConcurrent(b *testing.B) {
 	b.ReportMetric(float64(ms.MaxOpLatency), "worst-mutator-op")
 	b.ReportMetric(float64(ms.Ops), "mutator-ops")
 }
+
+// BenchmarkBarrierModes is extension E4: the same concurrent collection under
+// each write-barrier mode, through the config-driven mutator path the serving
+// stack uses. The reported gc-clock-cycles and barrier-cycles are exact
+// deterministic simulation outputs; CI pins them against BENCH_8.json so a
+// change to barrier cost attribution cannot land silently.
+func BenchmarkBarrierModes(b *testing.B) {
+	for _, mode := range []BarrierMode{BarrierNone, BarrierSATB, BarrierIncUpdate} {
+		name := string(mode)
+		if name == "" {
+			name = "none"
+		}
+		b.Run(name, func(b *testing.B) {
+			var st Stats
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				h, err := BuildWorkload("jlisp", 1, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				st, err = Collect(h, Config{Cores: 8, MutatorOps: 1 << 40, BarrierMode: mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if st.Mutator == nil {
+				b.Fatal("concurrent run reported no mutator stats")
+			}
+			b.ReportMetric(float64(st.Cycles), "gc-clock-cycles")
+			b.ReportMetric(float64(st.Mutator.BarrierCycles), "barrier-cycles")
+			b.ReportMetric(float64(st.Mutator.FloatingWords), "floating-words")
+		})
+	}
+}

@@ -132,7 +132,7 @@ func StartCollectRequest(req CollectRequest) (*RequestCollection, error) {
 		return nil, err
 	}
 	rc := &RequestCollection{req: req, key: key, plan: p}
-	if req.Verify {
+	if req.Verify && !rc.concurrent() {
 		if rc.before, err = Snapshot(h); err != nil {
 			return nil, fmt.Errorf("hwgc: pre-GC snapshot: %w", err)
 		}
@@ -172,7 +172,7 @@ func ResumeCollectRequest(req CollectRequest, snap []byte) (*RequestCollection, 
 			return nil, err
 		}
 	}
-	if req.Verify {
+	if req.Verify && !rc.concurrent() {
 		h, _, err := buildRequestHeap(&rc.req)
 		if err != nil {
 			return nil, err
@@ -183,6 +183,11 @@ func ResumeCollectRequest(req CollectRequest, snap []byte) (*RequestCollection, 
 	}
 	return rc, nil
 }
+
+// concurrent reports whether the request runs the built-in concurrent
+// mutator, in which case the stop-the-world oracle cannot predict the
+// outcome and verification uses the structural integrity check instead.
+func (rc *RequestCollection) concurrent() bool { return rc.req.Config.MutatorOps > 0 }
 
 // Key returns the canonical request hash (the serving tier's cache key).
 func (rc *RequestCollection) Key() string { return rc.key }
@@ -209,7 +214,11 @@ func (rc *RequestCollection) Response() (*CollectResponse, error) {
 		return nil, err
 	}
 	if rc.req.Verify {
-		if err := Verify(rc.before, rc.col.Heap()); err != nil {
+		if rc.concurrent() {
+			if err := rc.col.Heap().CheckIntegrity(); err != nil {
+				return nil, fmt.Errorf("hwgc: concurrent collection verification failed: %w", err)
+			}
+		} else if err := Verify(rc.before, rc.col.Heap()); err != nil {
 			return nil, fmt.Errorf("hwgc: collection verification failed: %w", err)
 		}
 	}

@@ -87,10 +87,12 @@ func run(cmd string) error {
 		return robustness()
 	case "concurrent":
 		return concurrent()
+	case "barriers":
+		return barriers()
 	case "seeds":
 		return seeds()
 	case "all":
-		for _, c := range []string{"fig5", "fig6", "tab1", "tab2", "fifo", "markopt", "bandwidth", "stride", "hdrcache", "heapsize", "pauses", "robustness", "seeds", "concurrent", "baselines"} {
+		for _, c := range []string{"fig5", "fig6", "tab1", "tab2", "fifo", "markopt", "bandwidth", "stride", "hdrcache", "heapsize", "pauses", "robustness", "seeds", "concurrent", "barriers", "baselines"} {
 			if err := run(c); err != nil {
 				return err
 			}
@@ -98,7 +100,7 @@ func run(cmd string) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (have fig5 fig6 tab1 tab2 fifo markopt bandwidth stride hdrcache heapsize pauses robustness seeds concurrent baselines all)", cmd)
+		return fmt.Errorf("unknown experiment %q (have fig5 fig6 tab1 tab2 fifo markopt bandwidth stride hdrcache heapsize pauses robustness seeds concurrent barriers baselines all)", cmd)
 	}
 }
 
@@ -337,6 +339,23 @@ func concurrent() error {
 		t.Add(r.Bench, fmt.Sprint(r.STWPause), fmt.Sprint(r.ConcCycles),
 			fmt.Sprint(r.MutOps), fmt.Sprint(r.MutAllocs),
 			fmt.Sprintf("%d cycles", r.MaxOpLatency), fmt.Sprintf("%.0f%%", r.BarrierPct))
+	}
+	return t.Write(os.Stdout)
+}
+
+func barriers() error {
+	rows, err := experiments.Barriers([]string{"jlisp", "javac", "jflex", "db"}, 8, opts(experiments.Fig5Config()))
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable(
+		"Extension E4: write-barrier comparison, 8 cores, built-in churn mutator on the mutator port",
+		"Application", "Barrier", "STW pause", "Concurrent GC cycles", "Invocations", "Barrier cycles", "Floating words", "Mark term.", "Worst mutator op")
+	for _, r := range rows {
+		t.Add(r.Bench, r.Mode, fmt.Sprint(r.STWPause), fmt.Sprint(r.Cycles),
+			fmt.Sprint(r.BarrierInvocations), fmt.Sprint(r.BarrierCycles),
+			fmt.Sprint(r.FloatingWords), fmt.Sprint(r.MarkTermCycles),
+			fmt.Sprintf("%d cycles", r.MaxOpLatency))
 	}
 	return t.Write(os.Stdout)
 }

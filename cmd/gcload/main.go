@@ -29,8 +29,18 @@
 //
 // Usage:
 //
+// With -barrier <none|satb|incupdate>, every generated request becomes a
+// concurrent-collection scenario: the built-in churn mutator runs on the
+// coprocessor's mutator port under the selected write barrier (-mutops
+// bounds its operation budget; 0 means effectively unbounded). Sweep spec
+// files passed via -sweep flow through verbatim, so BarrierMode axes in the
+// spec JSON reach the server unchanged.
+//
+// Usage:
+//
 //	gcload [-url http://localhost:8080] [-n 1000] [-c 100] [-qps 0]
 //	       [-bench jlisp] [-cores 8] [-scale 1] [-distinct 8]
+//	       [-barrier M] [-mutops N]
 //	       [-sweepreq] [-batch 0] [-async] [-class C] [-poll 25ms]
 //	       [-sweep spec.json] [-timeout 30s]
 package main
@@ -61,6 +71,8 @@ type loadConfig struct {
 	cores     int
 	scale     int
 	distinct  int
+	barrier   string // write-barrier mode; non-empty turns requests concurrent
+	mutops    int64  // concurrent mutator operation budget (0 = unbounded)
 	sweepReq  bool
 	sweepSpec string // path to a SweepSpace JSON file (-sweep mode)
 	batch     int
@@ -80,6 +92,8 @@ func main() {
 	flag.IntVar(&cfg.cores, "cores", 8, "coprocessor cores per request")
 	flag.IntVar(&cfg.scale, "scale", 1, "workload scale per request")
 	flag.IntVar(&cfg.distinct, "distinct", 8, "distinct seed variants to rotate through")
+	flag.StringVar(&cfg.barrier, "barrier", "", `write-barrier mode for generated requests ("none", "satb", "incupdate"); any value turns on the built-in concurrent mutator`)
+	flag.Int64Var(&cfg.mutops, "mutops", 0, "concurrent mutator operation budget (0 with -barrier = effectively unbounded)")
 	flag.BoolVar(&cfg.sweepReq, "sweepreq", false, "POST /v1/sweep instead of /v1/collect")
 	flag.StringVar(&cfg.sweepSpec, "sweep", "", "submit this SweepSpace spec file to POST /v1/sweeps and report frontier convergence")
 	flag.IntVar(&cfg.batch, "batch", 0, "POST /v1/batch with this many mixed items per request (0 = single requests)")
@@ -179,8 +193,12 @@ func (r *report) print(w io.Writer) {
 		}
 		endpoint += ")"
 	}
-	fmt.Fprintf(w, "gcload: POST %s bench=%s cores=%d scale=%d distinct-seeds=%d\n",
-		endpoint, r.cfg.bench, r.cfg.cores, r.cfg.scale, r.cfg.distinct)
+	scenario := ""
+	if r.cfg.barrier != "" || r.cfg.mutops > 0 {
+		scenario = fmt.Sprintf(" barrier=%s mutops=%d", r.cfg.config().BarrierMode, r.cfg.config().MutatorOps)
+	}
+	fmt.Fprintf(w, "gcload: POST %s bench=%s cores=%d scale=%d distinct-seeds=%d%s\n",
+		endpoint, r.cfg.bench, r.cfg.cores, r.cfg.scale, r.cfg.distinct, scenario)
 	secs := r.elapsed.Seconds()
 	if secs <= 0 {
 		secs = 1e-9
@@ -229,6 +247,23 @@ func (r *report) print(w io.Writer) {
 	}
 }
 
+// config returns the coprocessor configuration every generated request
+// carries. With -barrier (or -mutops) set the request becomes a concurrent-
+// collection scenario: the built-in churn mutator runs on the mutator port
+// under the selected write barrier. Validation happens downstream when the
+// request canonicalizes, so a bad -barrier value fails fast with the
+// library's own error.
+func (cfg *loadConfig) config() hwgc.Config {
+	c := hwgc.Config{Cores: cfg.cores, MutatorOps: cfg.mutops}
+	if cfg.barrier != "" {
+		c.BarrierMode = hwgc.BarrierMode(cfg.barrier)
+		if c.MutatorOps == 0 {
+			c.MutatorOps = 1 << 40 // churn for the whole collection
+		}
+	}
+	return c
+}
+
 // body returns the request body for seed variant v. Bodies are canonical
 // requests, so the server's cache key for variant v is stable.
 func (cfg *loadConfig) body(v int) ([]byte, error) {
@@ -241,11 +276,11 @@ func (cfg *loadConfig) body(v int) ([]byte, error) {
 	seed := int64(v + 1)
 	if cfg.sweepReq {
 		req := hwgc.SweepRequest{Bench: cfg.bench, Scale: cfg.scale, Seed: seed,
-			Config: hwgc.Config{Cores: cfg.cores}}
+			Config: cfg.config()}
 		return req.CanonicalJSON()
 	}
 	req := hwgc.CollectRequest{Bench: cfg.bench, Scale: cfg.scale, Seed: seed,
-		Config: hwgc.Config{Cores: cfg.cores}}
+		Config: cfg.config()}
 	return req.CanonicalJSON()
 }
 
@@ -262,13 +297,13 @@ func (cfg *loadConfig) asyncBody(v int) ([]byte, error) {
 	}{Class: cfg.class}
 	if cfg.sweepReq {
 		sub.Sweep = &hwgc.SweepRequest{Bench: cfg.bench, Scale: cfg.scale, Seed: seed,
-			Config: hwgc.Config{Cores: cfg.cores}}
+			Config: cfg.config()}
 		if _, err := sub.Sweep.Key(); err != nil {
 			return nil, err
 		}
 	} else {
 		sub.Collect = &hwgc.CollectRequest{Bench: cfg.bench, Scale: cfg.scale, Seed: seed,
-			Config: hwgc.Config{Cores: cfg.cores}}
+			Config: cfg.config()}
 		if _, err := sub.Collect.Key(); err != nil {
 			return nil, err
 		}
@@ -291,7 +326,7 @@ func (cfg *loadConfig) batchBody(v int) ([]byte, error) {
 		} else {
 			req.Items = append(req.Items, hwgc.BatchItem{Collect: &hwgc.CollectRequest{
 				Bench: cfg.bench, Scale: cfg.scale, Seed: seed,
-				Config: hwgc.Config{Cores: cfg.cores}}})
+				Config: cfg.config()}})
 		}
 	}
 	if err := req.Validate(); err != nil {

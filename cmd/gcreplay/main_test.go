@@ -64,6 +64,47 @@ func TestRecordResumeDiff(t *testing.T) {
 	}
 }
 
+// TestRecordResumeBarrierMode runs the record/resume loop over a concurrent
+// collection: the -config JSON carries MutatorOps and BarrierMode, the
+// recorded checkpoints embed the mutator state, and every resume lands on
+// the uninterrupted run's cycle count.
+func TestRecordResumeBarrierMode(t *testing.T) {
+	cfg := hwgc.Config{Cores: 4, MutatorOps: 1 << 40, BarrierMode: hwgc.BarrierSATB}
+	h, err := hwgc.BuildWorkload("jlisp", 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := hwgc.Collect(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Mutator == nil || want.Mutator.BarrierInvocations == 0 {
+		t.Fatalf("reference run has no barrier activity: %+v", want.Mutator)
+	}
+
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err = cmdRecord([]string{"-bench", "jlisp",
+		"-config", `{"Cores":4,"MutatorOps":1099511627776,"BarrierMode":"satb"}`,
+		"-every", "500", "-out", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no checkpoints written (err=%v)", err)
+	}
+	for _, snap := range snaps {
+		out.Reset()
+		if err := cmdResume([]string{"-snap", snap}, &out); err != nil {
+			t.Fatalf("resume %s: %v", snap, err)
+		}
+		if !strings.Contains(out.String(), "finished at cycle "+strconv.FormatInt(want.Cycles, 10)) {
+			t.Errorf("resume %s: output %q does not mention cycle %d", snap, out.String(), want.Cycles)
+		}
+	}
+}
+
 // TestBisectInjectedDivergence is the acceptance test for bisect: inject a
 // single-bit heap corruption into run B at a known cycle and check that the
 // binary search pinpoints exactly that cycle.

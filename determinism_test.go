@@ -76,6 +76,42 @@ func TestFastForwardDeterminism(t *testing.T) {
 	}
 }
 
+// TestBarrierModeDeterminism sweeps the concurrent-collection extension over
+// the paper's core counts: each write-barrier mode (and the bare concurrent
+// mutator with no barrier) must report bit-identical Stats between the
+// fast-forward-enabled and fully stepped runs. An attached mutator disables
+// fast-forwarding structurally — every cycle can produce a mutator store —
+// so the suite also pins jumps==0 on the "fast-forwarding" run.
+func TestBarrierModeDeterminism(t *testing.T) {
+	for _, mode := range []BarrierMode{BarrierNone, BarrierSATB, BarrierIncUpdate} {
+		for _, cores := range PaperCoreCounts {
+			mode, cores := mode, cores
+			name := string(mode)
+			if name == "" {
+				name = "none"
+			}
+			t.Run(fmt.Sprintf("%s/cores=%d", name, cores), func(t *testing.T) {
+				t.Parallel()
+				if testing.Short() && cores != 1 && cores != 16 {
+					t.Skip("short mode: endpoints only")
+				}
+				cfg := Config{Cores: cores, MutatorOps: 1 << 40, BarrierMode: mode}
+				ff, stepped, jumps, _ := collectBoth(t, "jlisp", 1, 42, cfg)
+				if jumps != 0 {
+					t.Errorf("machine fast-forwarded %d times with a mutator attached", jumps)
+				}
+				checkIdentical(t, ff, stepped)
+				if ff.Mutator == nil {
+					t.Fatal("concurrent run reported no mutator stats")
+				}
+				if mode != BarrierNone && ff.Mutator.BarrierInvocations == 0 {
+					t.Errorf("%s run invoked no barriers", name)
+				}
+			})
+		}
+	}
+}
+
 // TestFastForwardDeterminismConfigs exercises the model variants whose extra
 // machinery interacts with the dead-cycle classification: added memory
 // latency (long stall windows), stride mode (scan-lock stalls while the

@@ -23,6 +23,9 @@ func FuzzSweepSpaceDecode(f *testing.F) {
 		`"Constraints":[{"A":"MemLatency","Op":">=","Value":10}],"Objective":"speedup","TopK":8}`)
 	f.Add(`{"Benches":["compress"],"Axes":[{"Field":"FIFOCapacity","Values":[0,1024,32768]}],"MaxPoints":4}`)
 	f.Add(`{"V":1,"Benches":["db"],"Constraints":[{"A":"MemBanks","Op":">=","B":"Cores"}]}`)
+	f.Add(`{"Benches":["jlisp"],"Base":{"MutatorOps":4096},` +
+		`"Axes":[{"Field":"BarrierMode","Strings":["none","satb","incupdate"]},{"Field":"Cores","Values":[1,4]}]}`)
+	f.Add(`{"Benches":["db"],"Axes":[{"Field":"BarrierMode","Strings":["","satb",""]},{"Field":"MutatorOps","Values":[0,4096]}]}`)
 	f.Add(`{"Benches":["jlisp"],"MaxPoints":99999}`)
 	f.Add(`not json at all`)
 	f.Fuzz(func(t *testing.T, in string) {

@@ -87,6 +87,21 @@ type (
 	MutDriver = machine.MutDriver
 	// MutatorStats reports a concurrent mutator's progress and stalls.
 	MutatorStats = machine.MutatorStats
+	// BarrierMode selects the write-barrier discipline the concurrent
+	// mutator's pointer stores go through.
+	BarrierMode = machine.BarrierMode
+)
+
+// Write-barrier modes for concurrent collection (Config.BarrierMode).
+const (
+	// BarrierNone performs pointer stores with no barrier bookkeeping.
+	BarrierNone = machine.BarrierNone
+	// BarrierSATB is the Yuasa-style snapshot-at-the-beginning deletion
+	// barrier: the overwritten slot's old target is shaded.
+	BarrierSATB = machine.BarrierSATB
+	// BarrierIncUpdate is the Dijkstra-style incremental-update insertion
+	// barrier: the newly stored target is shaded.
+	BarrierIncUpdate = machine.BarrierIncUpdate
 )
 
 // Concurrent mutator operation kinds.

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"hwgc/internal/core"
+	"hwgc/internal/gcconc"
 	"hwgc/internal/machine"
 	"hwgc/internal/mutator"
 	"hwgc/internal/stats"
@@ -531,4 +532,54 @@ func SeedRobustness(benches []string, seeds []int64, o Options) ([]SeedStats, er
 		out = append(out, st)
 	}
 	return out, nil
+}
+
+// BarrierRow is one (benchmark, barrier mode) line of the write-barrier
+// comparison: the gcconc scenario family's cycle-accurate answer to "what
+// does each barrier discipline cost, and how much garbage does it float".
+type BarrierRow struct {
+	Bench              string
+	Mode               string // "none", "satb", "incupdate"
+	STWPause           int64  // cycles of the stop-the-world baseline
+	Cycles             int64  // cycles of the concurrent collection
+	MutOps             int64  // mutator operations completed during it
+	BarrierInvocations int64
+	BarrierCycles      int64
+	FloatingWords      int64 // garbage retained only because the barrier shaded it
+	MarkTermCycles     int64 // tail between the last marking work and scan termination
+	MaxOpLatency       int64 // worst single mutator operation — the pause analogue
+}
+
+// Barriers runs the concurrent-collection scenario family (extension E4):
+// each benchmark collected once stop-the-world and once per write-barrier
+// mode with the built-in churn mutator on the coprocessor's mutator port,
+// comparing barrier cost, floating garbage and mark termination across the
+// disciplines.
+func Barriers(benches []string, cores int, o Options) ([]BarrierRow, error) {
+	o = o.norm()
+	var rows []BarrierRow
+	for _, b := range benches {
+		base := o.Base
+		base.Cores = cores
+		cmp, err := gcconc.Compare(b, o.Scale, o.Seed, base, o.Verify)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range cmp.Rows {
+			ms := r.Stats.Mutator
+			rows = append(rows, BarrierRow{
+				Bench:              b,
+				Mode:               gcconc.Label(r.Scenario.Config.BarrierMode),
+				STWPause:           cmp.STW.Cycles,
+				Cycles:             r.Stats.Cycles,
+				MutOps:             ms.Ops,
+				BarrierInvocations: ms.BarrierInvocations,
+				BarrierCycles:      ms.BarrierCycles,
+				FloatingWords:      ms.FloatingWords,
+				MarkTermCycles:     ms.MarkTermCycles,
+				MaxOpLatency:       ms.MaxOpLatency,
+			})
+		}
+	}
+	return rows, nil
 }

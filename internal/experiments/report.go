@@ -178,5 +178,21 @@ func WriteReport(w io.Writer, o Options) error {
 			return err
 		}
 	}
+	if err := p("\n"); err != nil {
+		return err
+	}
+
+	bar, err := Barriers([]string{"jlisp", "javac"}, 8, o)
+	if err != nil {
+		return err
+	}
+	if err := p("## E4 — write-barrier comparison (8 cores)\n\n| Application | Barrier | GC cycles | Barrier cycles | Floating words | Mark term. |\n|---|---|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, r := range bar {
+		if err := p("| %s | %s | %d | %d | %d | %d |\n", r.Bench, r.Mode, r.Cycles, r.BarrierCycles, r.FloatingWords, r.MarkTermCycles); err != nil {
+			return err
+		}
+	}
 	return p("\nGenerated by `go run ./cmd/experiments -markdown all`.\n")
 }

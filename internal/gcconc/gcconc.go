@@ -1,0 +1,118 @@
+// Package gcconc defines the concurrent-collection scenario family: a
+// benchmark heap collected by the simulated coprocessor while the built-in
+// churn mutator runs on the mutator port, with pointer stores going through
+// a configurable write barrier (Config.BarrierMode). The family multiplies
+// one workload across the barrier disciplines — no barrier, Yuasa-style
+// snapshot-at-the-beginning deletion, Dijkstra-style incremental update —
+// and pairs each run with the stop-the-world baseline, so the barrier's
+// cycle cost, its floating garbage and the mark-termination tail can be
+// compared on identical heaps.
+//
+// Scenarios are plain machine configurations, so the whole serving stack —
+// gcserved's content-keyed cache, the jobs tier, sweeps, replay — runs them
+// with no plumbing beyond what Config already carries; this package adds the
+// canonical expansion and comparison logic on top.
+package gcconc
+
+import (
+	"fmt"
+
+	"hwgc/internal/core"
+	"hwgc/internal/machine"
+)
+
+// DefaultMutatorOps is the operation budget a scenario gives the built-in
+// mutator when its base config leaves MutatorOps unset: effectively
+// unbounded, so the mutator churns for the whole collection.
+const DefaultMutatorOps = 1 << 40
+
+// Modes lists every barrier mode, in canonical report order.
+func Modes() []machine.BarrierMode {
+	return []machine.BarrierMode{machine.BarrierNone, machine.BarrierSATB, machine.BarrierIncUpdate}
+}
+
+// Label names a barrier mode for tables: "none", "satb", "incupdate".
+func Label(m machine.BarrierMode) string {
+	if m == machine.BarrierNone {
+		return "none"
+	}
+	return string(m)
+}
+
+// Scenario is one concurrent-collection scenario: a benchmark heap collected
+// while the built-in churn mutator runs under Config.BarrierMode. The
+// embedded Config carries the barrier mode and the mutator parameters, so a
+// Scenario maps one-to-one onto a canonical CollectRequest.
+type Scenario struct {
+	Bench  string
+	Scale  int
+	Seed   int64
+	Config core.Config
+}
+
+// New builds the scenario for one benchmark and barrier mode on top of a
+// base configuration. The mutator is switched on (MutatorOps defaults to
+// DefaultMutatorOps when the base leaves it unset); every other mutator
+// parameter keeps the library default unless the base overrides it.
+func New(bench string, scale int, seed int64, base core.Config, mode machine.BarrierMode) Scenario {
+	cfg := base
+	cfg.BarrierMode = mode
+	if cfg.MutatorOps <= 0 {
+		cfg.MutatorOps = DefaultMutatorOps
+	}
+	return Scenario{Bench: bench, Scale: scale, Seed: seed, Config: cfg}
+}
+
+// Result pairs a scenario with the statistics of one verified run.
+// Stats.Mutator carries the mutator's side: barrier invocations and cycles,
+// shaded and floating objects, mark-termination cycles.
+type Result struct {
+	Scenario Scenario
+	Stats    core.Stats
+}
+
+// Run executes the scenario once on a freshly built heap. With verify set
+// the post-collection heap is checked structurally (the stop-the-world
+// oracle cannot predict a mutated graph). Deterministic: the same scenario
+// always yields bit-identical Stats.
+func Run(s Scenario, verify bool) (Result, error) {
+	r, err := core.RunBenchmark(s.Bench, s.Scale, s.Seed, s.Config, verify)
+	if err != nil {
+		return Result{}, fmt.Errorf("gcconc: %s/%s: %w", s.Bench, Label(s.Config.BarrierMode), err)
+	}
+	if r.Stats.Mutator == nil {
+		return Result{}, fmt.Errorf("gcconc: %s/%s: run reported no mutator statistics", s.Bench, Label(s.Config.BarrierMode))
+	}
+	return Result{Scenario: s, Stats: r.Stats}, nil
+}
+
+// Comparison aggregates the family over one benchmark: the stop-the-world
+// baseline (same heap, no mutator) plus one Result per barrier mode, in
+// Modes() order.
+type Comparison struct {
+	Bench string
+	STW   core.Stats
+	Rows  []Result
+}
+
+// Compare runs the full scenario family over one benchmark: a stop-the-world
+// baseline and one concurrent run per barrier mode, each on an identically
+// built fresh heap.
+func Compare(bench string, scale int, seed int64, base core.Config, verify bool) (Comparison, error) {
+	stwCfg := base
+	stwCfg.BarrierMode = machine.BarrierNone
+	stwCfg.MutatorOps = 0
+	stw, err := core.RunBenchmark(bench, scale, seed, stwCfg, verify)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("gcconc: %s/stw: %w", bench, err)
+	}
+	cmp := Comparison{Bench: bench, STW: stw.Stats}
+	for _, mode := range Modes() {
+		r, err := Run(New(bench, scale, seed, base, mode), verify)
+		if err != nil {
+			return Comparison{}, err
+		}
+		cmp.Rows = append(cmp.Rows, r)
+	}
+	return cmp, nil
+}

@@ -1,0 +1,81 @@
+package gcconc
+
+import (
+	"testing"
+
+	"hwgc/internal/core"
+	"hwgc/internal/machine"
+)
+
+func TestRunDeterministic(t *testing.T) {
+	for _, mode := range Modes() {
+		s := New("jlisp", 1, 42, core.Config{Cores: 4}, mode)
+		a, err := Run(s, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(s, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diffs := a.Stats.DiffFields(&b.Stats); diffs != nil {
+			t.Fatalf("%s: repeated run differs: %v", Label(mode), diffs)
+		}
+	}
+}
+
+func TestBarrierCounters(t *testing.T) {
+	cmp, err := Compare("jlisp", 1, 42, core.Config{Cores: 4}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Rows) != len(Modes()) {
+		t.Fatalf("Compare returned %d rows, want %d", len(cmp.Rows), len(Modes()))
+	}
+	if cmp.STW.Mutator != nil {
+		t.Fatal("stop-the-world baseline reported mutator statistics")
+	}
+	for i, r := range cmp.Rows {
+		mode := Modes()[i]
+		if r.Scenario.Config.BarrierMode != mode {
+			t.Fatalf("row %d carries mode %q, want %q", i, r.Scenario.Config.BarrierMode, mode)
+		}
+		ms := r.Stats.Mutator
+		if ms == nil {
+			t.Fatalf("%s: no mutator statistics", Label(mode))
+		}
+		if ms.Ops == 0 || ms.PtrStores == 0 {
+			t.Fatalf("%s: mutator made no progress: %+v", Label(mode), ms)
+		}
+		switch mode {
+		case machine.BarrierNone:
+			if ms.BarrierInvocations != 0 || ms.BarrierCycles != 0 || ms.ShadedObjects != 0 {
+				t.Fatalf("none: barrier fired: %+v", ms)
+			}
+		default:
+			if ms.BarrierInvocations == 0 || ms.BarrierCycles == 0 {
+				t.Fatalf("%s: barrier never fired: %+v", Label(mode), ms)
+			}
+			if ms.BarrierCycles < ms.BarrierInvocations {
+				t.Fatalf("%s: fewer barrier cycles than invocations: %+v", Label(mode), ms)
+			}
+		}
+		if ms.FloatingWords < 0 || ms.FloatingObjects > ms.ShadedObjects {
+			t.Fatalf("%s: implausible floating garbage: %+v", Label(mode), ms)
+		}
+		if ms.MarkTermCycles < 0 || ms.MarkTermCycles > r.Stats.Cycles {
+			t.Fatalf("%s: mark-termination cycles out of range: %+v", Label(mode), ms)
+		}
+	}
+}
+
+func TestNewDefaultsMutatorOps(t *testing.T) {
+	s := New("db", 1, 1, core.Config{Cores: 2}, machine.BarrierSATB)
+	if s.Config.MutatorOps != DefaultMutatorOps {
+		t.Fatalf("MutatorOps = %d, want %d", s.Config.MutatorOps, DefaultMutatorOps)
+	}
+	s = New("db", 1, 1, core.Config{Cores: 2, MutatorOps: 7}, machine.BarrierSATB)
+	if s.Config.MutatorOps != 7 {
+		t.Fatalf("MutatorOps = %d, want base override 7", s.Config.MutatorOps)
+	}
+}

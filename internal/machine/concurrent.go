@@ -91,6 +91,17 @@ type MutatorStats struct {
 	BarrierStalls int64 // cycles stalled waiting for a gray object to blacken
 	AllocLock     int64 // cycles stalled on the free lock
 	FramesSkipped int64 // black-at-birth frames the scanning cores stepped over
+
+	// Write-barrier counters (zero under BarrierNone). The new fields carry
+	// omitempty-compatible zero values, so stop-the-world responses encoded
+	// before they existed still decode into an identical struct.
+	PtrStores          int64 // pointer stores executed (the barrier's trigger)
+	BarrierInvocations int64 // write-barrier activations (SATB/inc-update)
+	BarrierCycles      int64 // cycles spent inside the write barrier's micro-states
+	ShadedObjects      int64 // objects shaded (retained) by the write barrier
+	FloatingObjects    int64 // shaded objects unreachable at collection end
+	FloatingWords      int64 // their words — garbage the barrier floated into tospace
+	MarkTermCycles     int64 // cycles between the last marking work and termination
 }
 
 type mutState int
@@ -108,6 +119,12 @@ const (
 	muAllocHdr
 	muAllocInit
 	muDone
+	// Write-barrier micro-states (appended so snapshot state codes of older
+	// versions stay stable).
+	muOldIssue   // SATB: load the pointer slot's old value
+	muOldWait    // SATB: waiting for the old value
+	muShadeIssue // shade a target: header load of the retained object
+	muShadeWait  // waiting for the shade's header load
 )
 
 // mutCore is the mutator port.
@@ -128,6 +145,17 @@ type mutCore struct {
 
 	allocBase object.Addr
 	initIdx   int
+
+	// Write-barrier state: the object currently being shaded, and the set of
+	// objects the barrier has retained this cycle (ordered for snapshots;
+	// the map is a derived index).
+	shadeTarget object.Addr
+	shaded      []object.Addr
+	shadedSet   map[object.Addr]bool
+
+	// churn is non-nil for the built-in config-driven mutator; its PRNG
+	// state is part of the machine snapshot.
+	churn *churnState
 
 	stats MutatorStats
 }
@@ -158,6 +186,10 @@ func (u *mutCore) fail(format string, args ...any) {
 // step advances the mutator port by one clock cycle. draining suppresses
 // fetching new operations (the collection is finishing).
 func (u *mutCore) step(draining bool) {
+	switch u.st {
+	case muOldIssue, muOldWait, muShadeIssue, muShadeWait:
+		u.stats.BarrierCycles++
+	}
 	switch u.st {
 	case muDone:
 		return
@@ -215,6 +247,32 @@ func (u *mutCore) step(draining bool) {
 		u.complete()
 
 	case muBodyStore:
+		u.issueBodyStore()
+
+	case muOldIssue:
+		u.issueOldLoad()
+
+	case muOldWait:
+		if !u.m.mem.LoadReady(u.id, mem.BodyLoad) {
+			u.stats.StallCycles++
+			return
+		}
+		old := object.Addr(u.m.mem.TakeLoad(u.id, mem.BodyLoad))
+		if old == object.NilPtr {
+			u.issueBodyStore()
+			return
+		}
+		u.shade(old)
+
+	case muShadeIssue:
+		u.shade(u.shadeTarget)
+
+	case muShadeWait:
+		if !u.m.mem.LoadReady(u.id, mem.HeaderLoad) {
+			u.stats.StallCycles++
+			return
+		}
+		u.m.mem.TakeLoad(u.id, mem.HeaderLoad)
 		u.issueBodyStore()
 
 	case muAllocLock:
@@ -328,9 +386,67 @@ func (u *mutCore) execute() {
 	switch u.op.Kind {
 	case MutLoadPtr, MutLoadData:
 		u.issueBodyLoad()
-	case MutStorePtr, MutStoreData:
+	case MutStorePtr:
+		u.startBarrier()
+	case MutStoreData:
 		u.issueBodyStore()
 	}
+}
+
+// startBarrier runs the configured write barrier in front of a pointer
+// store, then performs the store itself.
+func (u *mutCore) startBarrier() {
+	switch u.m.cfg.BarrierMode {
+	case BarrierSATB:
+		// Deletion barrier: the old value of the slot must be read before it
+		// is overwritten — one timed body load, plus a shade of the old
+		// target when it is non-nil.
+		u.stats.BarrierInvocations++
+		u.issueOldLoad()
+	case BarrierIncUpdate:
+		// Insertion barrier: the new target is shaded. Nil stores are free.
+		u.stats.BarrierInvocations++
+		if tgt := u.regs[u.op.Reg2]; tgt != object.NilPtr {
+			u.shade(tgt)
+			return
+		}
+		u.issueBodyStore()
+	default:
+		u.issueBodyStore()
+	}
+}
+
+// issueOldLoad starts the SATB barrier's load of the slot's current value.
+func (u *mutCore) issueOldLoad() {
+	if !u.m.mem.IssueLoad(u.id, mem.BodyLoad, u.bodyAddr()) {
+		u.stats.StallCycles++
+		u.st = muOldIssue
+		return
+	}
+	u.st = muOldWait
+}
+
+// shade retains target for the current marking cycle: one header load
+// models the mark/retain touch (the object is already in tospace — the
+// mutator can only hold tospace references — so no copy is required, and
+// the FIFO's strict publish order must not be disturbed). The shaded set
+// feeds the floating-garbage accounting at the end of the collection.
+func (u *mutCore) shade(target object.Addr) {
+	u.shadeTarget = target
+	if !u.m.mem.IssueLoad(u.id, mem.HeaderLoad, target) {
+		u.stats.StallCycles++
+		u.st = muShadeIssue
+		return
+	}
+	if !u.shadedSet[target] {
+		if u.shadedSet == nil {
+			u.shadedSet = make(map[object.Addr]bool)
+		}
+		u.shadedSet[target] = true
+		u.shaded = append(u.shaded, target)
+		u.stats.ShadedObjects++
+	}
+	u.st = muShadeWait
 }
 
 func (u *mutCore) bodyAddr() object.Addr {
@@ -362,6 +478,9 @@ func (u *mutCore) issueBodyStore() {
 		u.stats.StallCycles++
 		u.st = muBodyStore
 		return
+	}
+	if u.op.Kind == MutStorePtr {
+		u.stats.PtrStores++
 	}
 	u.complete()
 }
@@ -456,5 +575,8 @@ func (m *Machine) CollectConcurrent(driver MutDriver, period int) (Stats, Mutato
 		return Stats{}, MutatorStats{}, err
 	}
 	ms := m.mut.stats
+	if st.Mutator != nil {
+		ms = *st.Mutator // includes the end-of-cycle floating-garbage walk
+	}
 	return st, ms, nil
 }

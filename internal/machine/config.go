@@ -25,7 +25,41 @@ const (
 	DefaultStartupCycles  = 64        // stop main processor, flush its caches, read registers
 	DefaultShutdownCycles = 32        // drain store buffers, restart main processor
 	MaxCores              = 64
+
+	// DefaultMutatorPeriod is the inter-operation idle period of the built-in
+	// churn mutator when MutatorOps is set but MutatorPeriod is not.
+	DefaultMutatorPeriod = 4
 )
+
+// BarrierMode selects the write barrier the concurrent mutator's pointer
+// stores go through. The wait-until-black *access* barrier (the paper's
+// hardware read barrier analogue) is always active in concurrent mode;
+// BarrierMode adds the *write* barrier of a concurrent-marking collector on
+// top, with cycle-accurate costs through the memory scheduler.
+type BarrierMode string
+
+const (
+	// BarrierNone performs the pointer store directly (the default; the
+	// wait-until-black access barrier alone keeps the heap consistent).
+	BarrierNone BarrierMode = ""
+	// BarrierSATB is the Yuasa-style snapshot-at-the-beginning deletion
+	// barrier: before a pointer slot is overwritten its old value is loaded
+	// and, if non-nil, the old target is shaded (a header touch), so no
+	// object reachable at the start of marking is lost.
+	BarrierSATB BarrierMode = "satb"
+	// BarrierIncUpdate is the Dijkstra-style incremental-update insertion
+	// barrier: the *new* target of every pointer store is shaded.
+	BarrierIncUpdate BarrierMode = "incupdate"
+)
+
+// barrierModeValid reports whether b names a known write barrier.
+func barrierModeValid(b BarrierMode) bool {
+	switch b {
+	case BarrierNone, BarrierSATB, BarrierIncUpdate:
+		return true
+	}
+	return false
+}
 
 // Config parameterizes a coprocessor instance.
 type Config struct {
@@ -91,6 +125,31 @@ type Config struct {
 	// exceeds this many clock cycles (a livelock guard for tests). Zero
 	// selects a generous bound derived from the heap size.
 	MaxCycles int64
+
+	// BarrierMode selects the concurrent mutator's write barrier ("",
+	// "satb" or "incupdate"; "none" normalizes to ""). It only takes effect
+	// when a mutator is attached — via MutatorOps or CollectConcurrent.
+	//
+	// The new fields carry `omitempty` so the canonical JSON encoding of
+	// every pre-existing configuration — and with it every content-derived
+	// cache key — is unchanged.
+	BarrierMode BarrierMode `json:",omitempty"`
+
+	// MutatorOps, when positive, attaches the built-in deterministic churn
+	// mutator to the collection: Collect then runs concurrently with a
+	// synthetic application issuing at most MutatorOps operations. This is
+	// the config-driven form of CollectConcurrent, reachable from the
+	// canonical request codec so the whole serving stack (cache, jobs,
+	// sweeps, replay, snapshots) can run concurrent scenarios.
+	MutatorOps int64 `json:",omitempty"`
+	// MutatorAllocs caps the churn mutator's concurrent allocations
+	// (default 500 when MutatorOps is set).
+	MutatorAllocs int64 `json:",omitempty"`
+	// MutatorSeed seeds the churn mutator's operation stream (default 1).
+	MutatorSeed int64 `json:",omitempty"`
+	// MutatorPeriod is the idle period between mutator operations, i.e. the
+	// mutator's speed relative to the GC clock (default 4).
+	MutatorPeriod int `json:",omitempty"`
 }
 
 // WithDefaults returns c with zero values replaced by defaults.
@@ -113,6 +172,29 @@ func (c Config) WithDefaults() Config {
 	if c.ShutdownCycles < 0 {
 		c.ShutdownCycles = 0
 	}
+	if c.BarrierMode == "none" {
+		c.BarrierMode = BarrierNone
+	}
+	if c.MutatorOps > 0 {
+		if c.MutatorAllocs == 0 {
+			c.MutatorAllocs = 500
+		}
+		if c.MutatorSeed == 0 {
+			c.MutatorSeed = 1
+		}
+		if c.MutatorPeriod == 0 {
+			c.MutatorPeriod = DefaultMutatorPeriod
+		}
+	} else {
+		// Without a built-in mutator the sub-parameters are inert; zero them
+		// so configurations differing only in dead knobs canonicalize (and
+		// cache) identically. BarrierMode is kept: external CollectConcurrent
+		// drivers use it without setting MutatorOps.
+		c.MutatorOps = 0
+		c.MutatorAllocs = 0
+		c.MutatorSeed = 0
+		c.MutatorPeriod = 0
+	}
 	return c
 }
 
@@ -132,6 +214,13 @@ func (c Config) Validate() error {
 	}
 	if c.StrideWords < 0 {
 		return fmt.Errorf("machine: negative stride size")
+	}
+	if !barrierModeValid(c.BarrierMode) {
+		return fmt.Errorf("machine: unknown barrier mode %q (have \"\", %q, %q)",
+			c.BarrierMode, BarrierSATB, BarrierIncUpdate)
+	}
+	if c.MutatorOps < 0 || c.MutatorAllocs < 0 || c.MutatorPeriod < 0 {
+		return fmt.Errorf("machine: negative mutator parameter")
 	}
 	return nil
 }

@@ -200,6 +200,9 @@ func (c *core) step() {
 		}
 		c.m.hc.Update(c.objTo, blk)
 		c.stats.ObjectsScanned++
+		if c.m.mut != nil {
+			c.m.lastWork = c.m.cycle
+		}
 		c.st = sGrabScan
 
 	case sDone:
@@ -349,6 +352,7 @@ func (c *core) beginObject(hdr object.Word) {
 		sb.ReleaseScan(c.id)
 		if c.m.mut != nil {
 			c.m.mut.stats.FramesSkipped++
+			c.m.lastWork = c.m.cycle
 		}
 		c.st = sGrabScan
 		return

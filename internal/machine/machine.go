@@ -30,6 +30,13 @@ type Machine struct {
 	// Concurrent-mode mutator port (nil in stop-the-world mode).
 	mut        *mutCore
 	mutStarted bool
+	// mutBuiltin marks a mutator constructed from Config.MutatorOps (the
+	// snapshot-able churn driver) rather than supplied to CollectConcurrent.
+	mutBuiltin bool
+	// lastWork is the cycle of the most recent marking progress (an object
+	// blackened or a black-at-birth frame stepped over); scanEnd − lastWork
+	// is the mark-termination latency reported in concurrent mode.
+	lastWork int64
 
 	cores         []*core
 	coreBuf       []core // backing storage for cores, reused across Collects
@@ -205,6 +212,14 @@ func (m *Machine) BeginCollect() {
 	limit := h.Limit(to)
 
 	m.sb.Reset(base, base)
+	if m.cfg.MutatorOps > 0 && (m.mut == nil || m.mutBuiltin) {
+		// Config-driven concurrent mode: attach the built-in churn mutator.
+		// An external CollectConcurrent driver, when present, wins.
+		ch := newChurnState(m.heap, m.cfg)
+		m.mut = newMutCore(m, ch.drive, m.cfg.MutatorPeriod)
+		m.mut.churn = ch
+		m.mutBuiltin = true
+	}
 	ports := m.cfg.Cores
 	if m.mut != nil {
 		ports++ // the concurrent mutator uses its own set of memory ports
@@ -257,6 +272,7 @@ func (m *Machine) BeginCollect() {
 	m.scanStart = -1
 	m.scanEnd = -1
 	m.emptyCycles = 0
+	m.lastWork = 0
 	m.phase = phaseRunning
 }
 
@@ -383,9 +399,63 @@ func (m *Machine) FinishCollect() (Stats, error) {
 		st.LiveObjects += c.stats.ObjectsScanned
 	}
 
+	if m.mut != nil {
+		ms := m.mut.stats
+		if m.scanEnd >= 0 {
+			last := m.lastWork
+			if last < m.scanStart {
+				last = m.scanStart
+			}
+			ms.MarkTermCycles = m.scanEnd - last
+		}
+		m.countFloating(&ms, base, finalFree)
+		m.mut.stats = ms
+		st.Mutator = &ms
+	}
+
 	h.FinishCycle(finalFree)
 	m.phase = phaseIdle
 	return st, nil
+}
+
+// countFloating attributes floating garbage to the write barrier: shaded
+// objects that end the cycle unreachable from both the roots and the
+// mutator's registers survived only because the barrier retained them. The
+// walk is untimed bookkeeping over the (not yet flipped) tospace image.
+func (m *Machine) countFloating(ms *MutatorStats, base, finalFree object.Addr) {
+	if len(m.mut.shaded) == 0 {
+		return
+	}
+	h := m.heap
+	reach := make(map[object.Addr]bool)
+	var stack []object.Addr
+	push := func(a object.Addr) {
+		if a != object.NilPtr && a >= base && a < finalFree && !reach[a] {
+			reach[a] = true
+			stack = append(stack, a)
+		}
+	}
+	for i := 0; i < h.NumRoots(); i++ {
+		push(h.Root(i))
+	}
+	for _, r := range m.mut.regs {
+		push(r)
+	}
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		hd := h.Header(a)
+		for i := 0; i < hd.Pi; i++ {
+			push(h.Ptr(a, i))
+		}
+	}
+	for _, s := range m.mut.shaded {
+		if s >= base && s < finalFree && !reach[s] {
+			hd := h.Header(s)
+			ms.FloatingObjects++
+			ms.FloatingWords += int64(object.Size(hd.Pi, hd.Delta))
+		}
+	}
 }
 
 // Resume drives a restored (or suspended) collection to completion and

@@ -44,6 +44,35 @@ type State struct {
 	FIFO        FIFOState
 	HeaderCache HeaderCacheState
 	Strides     []StrideEntryState
+
+	// Mut is the built-in concurrent mutator's port; nil in stop-the-world
+	// mode. Only the config-driven churn mutator is capturable — an external
+	// CollectConcurrent driver's program state lives outside the machine.
+	Mut *MutState
+}
+
+// MutState is the register file, micro-state, write-barrier state and churn
+// PRNG of the built-in concurrent mutator.
+type MutState struct {
+	Regs     []object.Addr
+	LastData object.Word
+	St       int
+	Op       MutOp
+	Seq      int64
+	WaitLeft int
+	OpStart  int64
+
+	AllocBase object.Addr
+	InitIdx   int
+
+	ShadeTarget object.Addr
+	Shaded      []object.Addr
+
+	Stats MutatorStats
+
+	ChurnRng    uint64
+	ChurnAllocs int64
+	LastWork    int64
 }
 
 // CoreState is the register file and micro-state of one GC core.
@@ -123,8 +152,8 @@ func (m *Machine) Snapshot() (*State, error) {
 	if m.err != nil {
 		return nil, fmt.Errorf("machine: Snapshot of a failed collection: %w", m.err)
 	}
-	if m.mut != nil {
-		return nil, fmt.Errorf("machine: Snapshot unsupported in concurrent-mutator mode")
+	if m.mut != nil && !m.mutBuiltin {
+		return nil, fmt.Errorf("machine: Snapshot unsupported with an external mutator driver")
 	}
 	st := &State{
 		Config: m.cfg,
@@ -192,6 +221,26 @@ func (m *Machine) Snapshot() (*State, error) {
 			})
 		}
 	}
+	if u := m.mut; u != nil {
+		ms := &MutState{
+			Regs:        append([]object.Addr(nil), u.regs...),
+			LastData:    u.lastData,
+			St:          int(u.st),
+			Op:          u.op,
+			Seq:         u.seq,
+			WaitLeft:    u.waitLeft,
+			OpStart:     u.opStart,
+			AllocBase:   u.allocBase,
+			InitIdx:     u.initIdx,
+			ShadeTarget: u.shadeTarget,
+			Shaded:      append([]object.Addr(nil), u.shaded...),
+			Stats:       u.stats,
+			ChurnRng:    u.churn.rng,
+			ChurnAllocs: u.churn.allocs,
+			LastWork:    m.lastWork,
+		}
+		st.Mut = ms
+	}
 	return st, nil
 }
 
@@ -233,7 +282,11 @@ func RestoreMachine(st *State) (*Machine, error) {
 	if cfg.StrideWords > 0 {
 		m.strides = newStrideTable(cfg.Cores)
 	}
-	m.mem.AttachCores(cfg.Cores)
+	ports := cfg.Cores
+	if st.Mut != nil {
+		ports++ // the restored mutator keeps its own memory ports
+	}
+	m.mem.AttachCores(ports)
 	if err := m.mem.RestoreState(st.Mem); err != nil {
 		return nil, err
 	}
@@ -323,6 +376,46 @@ func RestoreMachine(st *State) (*Machine, error) {
 		return nil, fmt.Errorf("machine: snapshot has stride state but strides are disabled")
 	}
 
+	if s := st.Mut; s != nil {
+		if cfg.MutatorOps <= 0 {
+			return nil, fmt.Errorf("machine: snapshot has mutator state but the config enables no built-in mutator")
+		}
+		if len(s.Regs) != MutatorRegisters {
+			return nil, fmt.Errorf("machine: snapshot mutator has %d registers, want %d", len(s.Regs), MutatorRegisters)
+		}
+		if s.St < int(muWait) || s.St > int(muShadeWait) {
+			return nil, fmt.Errorf("machine: snapshot mutator in unknown state %d", s.St)
+		}
+		ch := newChurnState(h, cfg)
+		ch.rng = s.ChurnRng
+		ch.allocs = s.ChurnAllocs
+		u := newMutCore(m, ch.drive, cfg.MutatorPeriod)
+		u.churn = ch
+		copy(u.regs, s.Regs)
+		u.lastData = s.LastData
+		u.st = mutState(s.St)
+		u.op = s.Op
+		u.seq = s.Seq
+		u.waitLeft = s.WaitLeft
+		u.opStart = s.OpStart
+		u.allocBase = s.AllocBase
+		u.initIdx = s.InitIdx
+		u.shadeTarget = s.ShadeTarget
+		u.shaded = append([]object.Addr(nil), s.Shaded...)
+		for _, a := range u.shaded {
+			if u.shadedSet == nil {
+				u.shadedSet = make(map[object.Addr]bool, len(u.shaded))
+			}
+			u.shadedSet[a] = true
+		}
+		u.stats = s.Stats
+		m.mut = u
+		m.mutBuiltin = true
+		m.lastWork = s.LastWork
+	} else if cfg.MutatorOps > 0 {
+		return nil, fmt.Errorf("machine: config enables the built-in mutator but the snapshot has no mutator state")
+	}
+
 	m.scanFrameValid = st.ScanFrameValid
 	m.scanFrameHdr = st.ScanFrameHdr
 	m.scanOff = st.ScanOff
@@ -340,7 +433,7 @@ func RestoreMachine(st *State) (*Machine, error) {
 	m.ffJumps = st.FFJumps
 	m.ffSkipped = st.FFSkipped
 	m.NoFastForward = st.NoFastForward
-	m.microSleep = !m.NoFastForward // no probe or mutator on a fresh restore
+	m.microSleep = !m.NoFastForward && m.mut == nil // no probe on a fresh restore
 	m.phase = phaseRunning
 	return m, nil
 }

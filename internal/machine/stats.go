@@ -75,6 +75,12 @@ type Stats struct {
 	Mem  mem.Stats
 	Sync syncblock.Stats
 
+	// Mutator describes the concurrent mutator's side of the collection;
+	// nil in stop-the-world mode. Pointer-with-omitempty keeps the JSON
+	// encoding of every stop-the-world Stats unchanged, so old serialized
+	// responses decode bit-identically.
+	Mutator *MutatorStats `json:",omitempty"`
+
 	Config Config
 }
 
@@ -133,6 +139,19 @@ func (s *Stats) DiffFields(o *Stats) []string {
 		f := t.Field(i)
 		a, b := sv.Field(i).Interface(), ov.Field(i).Interface()
 		if reflect.DeepEqual(a, b) {
+			continue
+		}
+		if f.Name == "Mutator" {
+			// Compare through the pointers so a nil-vs-zero difference is
+			// still reported but equal contents behind distinct pointers are
+			// not.
+			ma, mb := s.Mutator, o.Mutator
+			switch {
+			case ma == nil || mb == nil:
+				diffs = append(diffs, fmt.Sprintf("Mutator: %+v vs %+v", ma, mb))
+			case *ma != *mb:
+				diffs = append(diffs, fmt.Sprintf("Mutator: %+v vs %+v", *ma, *mb))
+			}
 			continue
 		}
 		if f.Name == "PerCore" {

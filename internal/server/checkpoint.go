@@ -189,6 +189,7 @@ func (s *Server) runCheckpointed(req hwgc.CollectRequest) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.metrics.ObserveCollect(resp)
 	var b bytes.Buffer
 	if err := resp.Encode(&b); err != nil {
 		return nil, err

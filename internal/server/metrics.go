@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hwgc"
 	"hwgc/internal/stats"
 )
 
@@ -37,9 +38,16 @@ type Metrics struct {
 	recoveriesEnqueued   atomic.Int64 // orphaned checkpoints enqueued at startup
 	checkpointsReclaimed atomic.Int64 // unreadable/stale checkpoint files garbage-collected
 
+	// Concurrent-collection scenario counters, aggregated from every
+	// collect response whose config ran the built-in mutator.
+	barrierInvocations atomic.Int64
+	barrierCycles      atomic.Int64
+	floatingWords      atomic.Int64
+
 	mu       sync.Mutex
 	requests map[string]int64 // by path
 	statuses map[int]int64    // by HTTP status code
+	concRuns map[string]int64 // concurrent collections, by barrier mode
 	lat      stats.Hist
 }
 
@@ -49,7 +57,31 @@ func NewMetrics() *Metrics {
 		start:    time.Now(),
 		requests: make(map[string]int64),
 		statuses: make(map[int]int64),
+		concRuns: make(map[string]int64),
 	}
+}
+
+// ObserveCollect aggregates the concurrent-collection counters of one
+// completed collect response. Stop-the-world responses (no mutator side)
+// are a no-op, as is a nil receiver (tests that stub the runner).
+func (m *Metrics) ObserveCollect(resp *hwgc.CollectResponse) {
+	if m == nil || resp == nil {
+		return
+	}
+	ms := resp.Result.Stats.Mutator
+	if ms == nil {
+		return
+	}
+	mode := "none"
+	if bm := resp.Result.Stats.Config.BarrierMode; bm != hwgc.BarrierNone {
+		mode = string(bm)
+	}
+	m.mu.Lock()
+	m.concRuns[mode]++
+	m.mu.Unlock()
+	m.barrierInvocations.Add(ms.BarrierInvocations)
+	m.barrierCycles.Add(ms.BarrierCycles)
+	m.floatingWords.Add(ms.FloatingWords)
 }
 
 // Request records one HTTP request against path with the final status code.
@@ -103,6 +135,15 @@ func (m *Metrics) WritePrometheus(w io.Writer, q queueState, c cacheState) error
 	}
 	for _, s := range codes {
 		reqLines = append(reqLines, fmt.Sprintf("gcserved_responses_total{code=\"%d\"} %d", s, m.statuses[s]))
+	}
+	modes := make([]string, 0, len(m.concRuns))
+	for mode := range m.concRuns {
+		modes = append(modes, mode)
+	}
+	sort.Strings(modes)
+	concLines := make([]string, 0, len(modes))
+	for _, mode := range modes {
+		concLines = append(concLines, fmt.Sprintf("gcserved_concurrent_collections_total{barrier=%q} %d", mode, m.concRuns[mode]))
 	}
 	lat := m.lat
 	m.mu.Unlock()
@@ -176,6 +217,20 @@ func (m *Metrics) WritePrometheus(w io.Writer, q queueState, c cacheState) error
 	add("# HELP gcserved_checkpoint_files_reclaimed_total Unreadable, stale or leftover checkpoint files deleted by the startup and resume sweeps.")
 	add("# TYPE gcserved_checkpoint_files_reclaimed_total counter")
 	add("gcserved_checkpoint_files_reclaimed_total %d", m.checkpointsReclaimed.Load())
+	add("# HELP gcserved_concurrent_collections_total Collect responses produced with the built-in concurrent mutator, by write-barrier mode.")
+	add("# TYPE gcserved_concurrent_collections_total counter")
+	for _, l := range concLines {
+		add("%s", l)
+	}
+	add("# HELP gcserved_barrier_invocations_total Write-barrier invocations across all served concurrent collections.")
+	add("# TYPE gcserved_barrier_invocations_total counter")
+	add("gcserved_barrier_invocations_total %d", m.barrierInvocations.Load())
+	add("# HELP gcserved_barrier_cycles_total Mutator cycles spent inside the write barrier across all served concurrent collections.")
+	add("# TYPE gcserved_barrier_cycles_total counter")
+	add("gcserved_barrier_cycles_total %d", m.barrierCycles.Load())
+	add("# HELP gcserved_floating_garbage_words_total Words of floating garbage retained by barrier shading across all served concurrent collections.")
+	add("# TYPE gcserved_floating_garbage_words_total counter")
+	add("gcserved_floating_garbage_words_total %d", m.floatingWords.Load())
 	add("# HELP gcserved_request_seconds Service latency of job endpoints (upper-bound quantile estimates).")
 	add("# TYPE gcserved_request_seconds summary")
 	add("gcserved_request_seconds{quantile=\"0.5\"} %g", lat.Quantile(0.50))

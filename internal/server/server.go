@@ -176,12 +176,12 @@ type Server struct {
 // spec, unreadable jobs directory, corrupt WAL).
 func New(opts Options) (*Server, error) {
 	s := &Server{
-		opts:       opts.withDefaults(),
-		metrics:    NewMetrics(),
-		draining:   make(chan struct{}),
-		runCollect: encodeCollect,
-		runSweep:   encodeSweep,
+		opts:     opts.withDefaults(),
+		metrics:  NewMetrics(),
+		draining: make(chan struct{}),
+		runSweep: encodeSweep,
 	}
+	s.runCollect = func(req hwgc.CollectRequest) ([]byte, error) { return encodeCollectObserved(req, s.metrics) }
 	if s.opts.CheckpointDir != "" {
 		s.ckpt = &checkpointStore{dir: s.opts.CheckpointDir}
 		s.runCollect = s.runCheckpointed
@@ -233,10 +233,15 @@ func New(opts Options) (*Server, error) {
 }
 
 func encodeCollect(req hwgc.CollectRequest) ([]byte, error) {
+	return encodeCollectObserved(req, nil)
+}
+
+func encodeCollectObserved(req hwgc.CollectRequest, m *Metrics) ([]byte, error) {
 	resp, err := hwgc.NewCollectResponse(req)
 	if err != nil {
 		return nil, err
 	}
+	m.ObserveCollect(resp)
 	var b bytes.Buffer
 	if err := resp.Encode(&b); err != nil {
 		return nil, err

@@ -254,6 +254,57 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// Concurrent-collection scenarios must surface in the scrape: one series
+// per barrier mode plus the aggregated barrier and floating-garbage
+// counters, fed by both the direct and the checkpointed execution path.
+func TestMetricsConcurrentCollections(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	for _, body := range []string{
+		`{"Bench":"jlisp","Config":{"Cores":2,"MutatorOps":1099511627776,"BarrierMode":"satb"}}`,
+		`{"Bench":"jlisp","Config":{"Cores":2,"MutatorOps":1099511627776,"BarrierMode":"incupdate"}}`,
+		`{"Bench":"jlisp","Config":{"Cores":2,"MutatorOps":1099511627776}}`,
+		`{"Bench":"jlisp","Config":{"Cores":2}}`, // stop-the-world: not counted
+	} {
+		if resp, b := post(t, ts, "/v1/collect", body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("collect %s: status %d: %s", body, resp.StatusCode, b)
+		}
+	}
+	_, body := get(t, ts, "/metrics")
+	text := string(body)
+	for _, want := range []string{
+		`gcserved_concurrent_collections_total{barrier="incupdate"} 1`,
+		`gcserved_concurrent_collections_total{barrier="none"} 1`,
+		`gcserved_concurrent_collections_total{barrier="satb"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	for _, counter := range []string{"gcserved_barrier_invocations_total", "gcserved_barrier_cycles_total"} {
+		v := scrapeValue(t, text, counter)
+		if v <= 0 {
+			t.Errorf("%s = %d, want > 0", counter, v)
+		}
+	}
+	if v := scrapeValue(t, text, "gcserved_floating_garbage_words_total"); v < 0 {
+		t.Errorf("gcserved_floating_garbage_words_total = %d", v)
+	}
+}
+
+// scrapeValue extracts a single un-labeled counter value from Prometheus
+// exposition text.
+func scrapeValue(t *testing.T, text, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		var v int64
+		if _, err := fmt.Sscanf(line, name+" %d", &v); err == nil {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in scrape", name)
+	return 0
+}
+
 // slowServer returns a server whose collect jobs block for d (fake results,
 // no simulation), for deterministic backpressure and deadline tests.
 func slowServer(t *testing.T, opts Options, d time.Duration) (*Server, *httptest.Server) {

@@ -176,6 +176,49 @@ func TestSweepsEndpointLifecycle(t *testing.T) {
 	}
 }
 
+// TestSweepsBarrierModeAxis is the concurrent-collection acceptance check
+// at the serving tier: a sweep over the BarrierMode enum axis (crossed with
+// Cores) runs end to end through gcserved and two independent servers
+// produce the identical ranked frontier — same point keys, same ranks, same
+// objective values — because every point is a deterministic simulation and
+// the planner's canonical order is fixed.
+func TestSweepsBarrierModeAxis(t *testing.T) {
+	body := `{"Space":{"Benches":["jlisp"],"Seeds":[42],` +
+		`"Base":{"MutatorOps":1099511627776},` +
+		`"Axes":[{"Field":"BarrierMode","Strings":["none","satb","incupdate"]},` +
+		`{"Field":"Cores","Values":[1,4]}]}}`
+
+	run := func() sweep.Info {
+		_, ts := newTestServer(t, jobsOpts(t))
+		resp, info := postSweep(t, ts, body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+		}
+		if info.Points != 6 {
+			t.Fatalf("planned %d points, want 6 (3 barrier modes x 2 core counts)", info.Points)
+		}
+		done := awaitSweep(t, ts, info.ID)
+		if done.State != sweep.StateDone || done.Completed != 6 || done.Failed != 0 {
+			t.Fatalf("final info = %+v", done)
+		}
+		if len(done.Frontier) == 0 {
+			t.Fatal("no frontier")
+		}
+		return done
+	}
+
+	a, b := run(), run()
+	if len(a.Frontier) != len(b.Frontier) {
+		t.Fatalf("frontier sizes differ: %d vs %d", len(a.Frontier), len(b.Frontier))
+	}
+	for i := range a.Frontier {
+		fa, fb := a.Frontier[i], b.Frontier[i]
+		if fa.Key != fb.Key || fa.Rank != fb.Rank || fa.Value != fb.Value || fa.Cycles != fb.Cycles {
+			t.Errorf("frontier[%d] differs across servers: %+v vs %+v", i, fa, fb)
+		}
+	}
+}
+
 func TestSweepsEndpointValidation(t *testing.T) {
 	_, ts := newTestServer(t, jobsOpts(t))
 	for name, tc := range map[string]struct {

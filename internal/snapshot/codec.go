@@ -30,10 +30,14 @@ import (
 	"hash/crc32"
 )
 
-// Format identification.
+// Format identification. Version 2 appended the concurrent-mutator fields
+// (barrier mode and churn-mutator knobs in the config section, the mutator
+// port's state in the machine section); version-1 snapshots decode
+// unchanged. Encode always writes the current version.
 const (
-	magic   = "HWGCSNP1"
-	version = 1
+	magic      = "HWGCSNP1"
+	version    = 2
+	minVersion = 1
 )
 
 // Section tags, in their fixed file order.

@@ -50,10 +50,12 @@ func Decode(data []byte) (*machine.State, error) {
 	} else if string(got) != magic {
 		return nil, fmt.Errorf("snapshot: bad magic %q", got)
 	}
-	if v := r.u32(); r.err != nil {
+	v := r.u32()
+	if r.err != nil {
 		return nil, r.err
-	} else if v != version {
-		return nil, fmt.Errorf("snapshot: unsupported version %d (have %d)", v, version)
+	}
+	if v < minVersion || v > version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (have %d..%d)", v, minVersion, version)
 	}
 
 	st := &machine.State{}
@@ -61,7 +63,7 @@ func Decode(data []byte) (*machine.State, error) {
 	if err != nil {
 		return nil, err
 	}
-	if st.Config, err = decodeConfig(sec); err != nil {
+	if st.Config, err = decodeConfig(sec, v); err != nil {
 		return nil, err
 	}
 	if sec, err = readSection(r, tagHeap); err != nil {
@@ -85,7 +87,7 @@ func Decode(data []byte) (*machine.State, error) {
 	if sec, err = readSection(r, tagMachine); err != nil {
 		return nil, err
 	}
-	if err = decodeMachine(sec, st); err != nil {
+	if err = decodeMachine(sec, st, v); err != nil {
 		return nil, err
 	}
 	if r.remaining() != 0 {
@@ -137,9 +139,39 @@ func encodeConfig(w *writer, c machine.Config) {
 	w.i64(c.StartupCycles)
 	w.i64(c.ShutdownCycles)
 	w.i64(c.MaxCycles)
+	// Version 2: concurrent-mutator knobs.
+	w.u8(encodeBarrierMode(c.BarrierMode))
+	w.i64(c.MutatorOps)
+	w.i64(c.MutatorAllocs)
+	w.i64(c.MutatorSeed)
+	w.i64(int64(c.MutatorPeriod))
 }
 
-func decodeConfig(r *reader) (machine.Config, error) {
+// encodeBarrierMode maps the barrier-mode enum to a stable wire byte.
+func encodeBarrierMode(b machine.BarrierMode) uint8 {
+	switch b {
+	case machine.BarrierSATB:
+		return 1
+	case machine.BarrierIncUpdate:
+		return 2
+	default:
+		return 0
+	}
+}
+
+func decodeBarrierMode(v uint8) (machine.BarrierMode, error) {
+	switch v {
+	case 0:
+		return machine.BarrierNone, nil
+	case 1:
+		return machine.BarrierSATB, nil
+	case 2:
+		return machine.BarrierIncUpdate, nil
+	}
+	return machine.BarrierNone, fmt.Errorf("snapshot: unknown barrier mode byte %d", v)
+}
+
+func decodeConfig(r *reader, v uint32) (machine.Config, error) {
 	c := machine.Config{
 		Cores:              r.intField(),
 		MemLatency:         r.intField(),
@@ -157,6 +189,17 @@ func decodeConfig(r *reader) (machine.Config, error) {
 	c.StartupCycles = r.i64()
 	c.ShutdownCycles = r.i64()
 	c.MaxCycles = r.i64()
+	if v >= 2 {
+		mode, err := decodeBarrierMode(r.u8())
+		if err != nil && r.err == nil {
+			return c, err
+		}
+		c.BarrierMode = mode
+		c.MutatorOps = r.i64()
+		c.MutatorAllocs = r.i64()
+		c.MutatorSeed = r.i64()
+		c.MutatorPeriod = r.intField()
+	}
 	return c, r.done()
 }
 
@@ -529,9 +572,94 @@ func encodeMachine(w *writer, st *machine.State) {
 		w.i64(int64(e.Outstanding))
 		w.bool(e.Final)
 	}
+	// Version 2: the built-in concurrent mutator's port.
+	w.bool(st.Mut != nil)
+	if m := st.Mut; m != nil {
+		w.count(len(m.Regs))
+		for _, a := range m.Regs {
+			w.u32(a)
+		}
+		w.u64(m.LastData)
+		w.i64(int64(m.St))
+		encodeMutOp(w, &m.Op)
+		w.i64(m.Seq)
+		w.i64(int64(m.WaitLeft))
+		w.i64(m.OpStart)
+		w.u32(m.AllocBase)
+		w.i64(int64(m.InitIdx))
+		w.u32(m.ShadeTarget)
+		w.count(len(m.Shaded))
+		for _, a := range m.Shaded {
+			w.u32(a)
+		}
+		encodeMutatorStats(w, &m.Stats)
+		w.u64(m.ChurnRng)
+		w.i64(m.ChurnAllocs)
+		w.i64(m.LastWork)
+	}
 }
 
-func decodeMachine(r *reader, st *machine.State) error {
+func encodeMutOp(w *writer, op *machine.MutOp) {
+	w.i64(int64(op.Kind))
+	w.i64(int64(op.Reg))
+	w.i64(int64(op.Reg2))
+	w.i64(int64(op.Slot))
+	w.i64(int64(op.RootIdx))
+	w.i64(int64(op.Pi))
+	w.i64(int64(op.Delta))
+	w.u64(op.Data)
+}
+
+func decodeMutOp(r *reader) machine.MutOp {
+	return machine.MutOp{
+		Kind:    machine.MutKind(r.intField()),
+		Reg:     r.intField(),
+		Reg2:    r.intField(),
+		Slot:    r.intField(),
+		RootIdx: r.intField(),
+		Pi:      r.intField(),
+		Delta:   r.intField(),
+		Data:    r.u64(),
+	}
+}
+
+func encodeMutatorStats(w *writer, s *machine.MutatorStats) {
+	w.i64(s.Ops)
+	w.i64(s.Allocs)
+	w.i64(s.StallCycles)
+	w.i64(s.MaxOpLatency)
+	w.i64(s.BarrierStalls)
+	w.i64(s.AllocLock)
+	w.i64(s.FramesSkipped)
+	w.i64(s.PtrStores)
+	w.i64(s.BarrierInvocations)
+	w.i64(s.BarrierCycles)
+	w.i64(s.ShadedObjects)
+	w.i64(s.FloatingObjects)
+	w.i64(s.FloatingWords)
+	w.i64(s.MarkTermCycles)
+}
+
+func decodeMutatorStats(r *reader) machine.MutatorStats {
+	return machine.MutatorStats{
+		Ops:                r.i64(),
+		Allocs:             r.i64(),
+		StallCycles:        r.i64(),
+		MaxOpLatency:       r.i64(),
+		BarrierStalls:      r.i64(),
+		AllocLock:          r.i64(),
+		FramesSkipped:      r.i64(),
+		PtrStores:          r.i64(),
+		BarrierInvocations: r.i64(),
+		BarrierCycles:      r.i64(),
+		ShadedObjects:      r.i64(),
+		FloatingObjects:    r.i64(),
+		FloatingWords:      r.i64(),
+		MarkTermCycles:     r.i64(),
+	}
+}
+
+func decodeMachine(r *reader, st *machine.State, v uint32) error {
 	st.Cycle = r.i64()
 	st.MaxCycles = r.i64()
 	st.ScanStart = r.i64()
@@ -581,6 +709,35 @@ func decodeMachine(r *reader, st *machine.State) error {
 				Outstanding: r.intField(), Final: r.bool(),
 			}
 		}
+	}
+	if v >= 2 && r.bool() {
+		m := &machine.MutState{}
+		if n := r.count(4); n > 0 {
+			m.Regs = make([]uint32, n)
+			for i := range m.Regs {
+				m.Regs[i] = r.u32()
+			}
+		}
+		m.LastData = r.u64()
+		m.St = r.intField()
+		m.Op = decodeMutOp(r)
+		m.Seq = r.i64()
+		m.WaitLeft = r.intField()
+		m.OpStart = r.i64()
+		m.AllocBase = r.u32()
+		m.InitIdx = r.intField()
+		m.ShadeTarget = r.u32()
+		if n := r.count(4); n > 0 {
+			m.Shaded = make([]uint32, n)
+			for i := range m.Shaded {
+				m.Shaded[i] = r.u32()
+			}
+		}
+		m.Stats = decodeMutatorStats(r)
+		m.ChurnRng = r.u64()
+		m.ChurnAllocs = r.i64()
+		m.LastWork = r.i64()
+		st.Mut = m
 	}
 	return r.done()
 }

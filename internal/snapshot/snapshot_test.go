@@ -1,7 +1,11 @@
 package snapshot
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/binary"
+	"io"
+	"os"
 	"reflect"
 	"strings"
 	"testing"
@@ -43,6 +47,9 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		{Cores: 1},
 		{Cores: 4, HeaderCacheLines: 64},
 		{Cores: 8, StrideWords: 16, MemBanks: 4},
+		{Cores: 4, MutatorOps: 1 << 40},
+		{Cores: 4, MutatorOps: 1 << 40, BarrierMode: machine.BarrierSATB},
+		{Cores: 4, MutatorOps: 1 << 40, BarrierMode: machine.BarrierIncUpdate},
 	} {
 		st := captureState(t, "jlisp", cfg, 200)
 		data := Encode(st)
@@ -182,6 +189,94 @@ func TestDiff(t *testing.T) {
 	}
 }
 
+// TestDecodeVersion1Fixture pins on-disk back-compat: the committed
+// testdata snapshot was written by the version-1 encoder (before the
+// concurrent-mutator fields existed) and must keep decoding, restoring and
+// resuming to the bit-identical result of an uninterrupted run.
+//
+// Fixture recipe (burned into the file, do not regenerate with the current
+// encoder): workload jlisp, Plan(1, 42).BuildHeap(2.0), machine.Config{
+// Cores: 4, HeaderCacheLines: 64}, BeginCollect, StepCycles(500), Snapshot.
+func TestDecodeVersion1Fixture(t *testing.T) {
+	gz, err := os.ReadFile("testdata/v1-jlisp-c4.snap.gz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(gz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(data[len(magic):]); v != 1 {
+		t.Fatalf("fixture declares version %d, want 1", v)
+	}
+
+	st, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decoding the v1 fixture: %v", err)
+	}
+	if st.Cycle != 500 {
+		t.Fatalf("fixture captured at cycle %d, want 500", st.Cycle)
+	}
+
+	// The v1 state must survive a re-encode at the current version.
+	up, err := Decode(Encode(st))
+	if err != nil {
+		t.Fatalf("re-encoded fixture failed to decode: %v", err)
+	}
+	if !reflect.DeepEqual(st, up) {
+		t.Fatalf("fixture state changed across the version upgrade: %v", Diff(st, up))
+	}
+
+	// Restoring and resuming must reproduce the uninterrupted run exactly.
+	m, err := machine.RestoreMachine(st)
+	if err != nil {
+		t.Fatalf("restoring the v1 fixture: %v", err)
+	}
+	resumed, err := m.Resume()
+	if err != nil {
+		t.Fatalf("resuming the v1 fixture: %v", err)
+	}
+	spec, err := workload.Get("jlisp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := spec.Plan(1, 42).BuildHeap(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := machine.New(h, machine.Config{Cores: 4, HeaderCacheLines: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := resumed.DiffFields(&want); diffs != nil {
+		for _, d := range diffs {
+			t.Errorf("v1 fixture resume vs uninterrupted run: %s", d)
+		}
+	}
+
+	// Corrupting or truncating the old version still errors cleanly.
+	for _, n := range []int{len(magic) + 2, len(data) / 3, len(data) - 1} {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Errorf("truncated v1 fixture (%d bytes) decoded without error", n)
+		}
+	}
+	for _, off := range []int{20, len(data) / 2, len(data) - 10} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 1
+		if _, err := Decode(bad); err == nil {
+			t.Errorf("v1 fixture with bit flip at %d decoded without error", off)
+		}
+	}
+}
+
 // FuzzSnapshotDecode checks that arbitrary bytes — including mutations of a
 // valid snapshot — never panic or over-allocate in Decode, and that inputs
 // accepted by Decode re-encode canonically.
@@ -197,10 +292,22 @@ func FuzzSnapshotDecode(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// Anything Decode accepts must re-encode to the same bytes (the
-		// format has a single canonical encoding per state).
-		if !reflect.DeepEqual(Encode(got), data) {
-			t.Fatal("accepted input does not re-encode canonically")
+		if binary.LittleEndian.Uint32(data[len(magic):]) == version {
+			// A current-version input Decode accepts must re-encode to the
+			// same bytes (one canonical encoding per state).
+			if !reflect.DeepEqual(Encode(got), data) {
+				t.Fatal("accepted input does not re-encode canonically")
+			}
+			return
+		}
+		// An older version re-encodes at the current version; the state must
+		// survive the upgrade round trip unchanged.
+		up, err := Decode(Encode(got))
+		if err != nil {
+			t.Fatalf("re-encoding an accepted old-version input failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, up) {
+			t.Fatal("old-version state changed across the re-encode round trip")
 		}
 	})
 }

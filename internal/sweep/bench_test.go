@@ -37,6 +37,9 @@ func BenchmarkSweepPlanner(b *testing.B) {
 				{Field: "Cores", Values: []int64{1, 2, 4, 8, 16, 32}},
 				{Field: "MemLatency", Values: []int64{10, 20, 40}},
 				{Field: "MemBanks", Values: []int64{2, 4, 8}},
+				// An enum axis, so the pinned plan covers string-valued
+				// canonicalization (sorting, "none" normalization) too.
+				{Field: "BarrierMode", Strings: []string{"none", "satb", "incupdate"}},
 			},
 			// The paper-style sanity constraints: enough banks to feed the
 			// cores, and no single-bank many-core corners.

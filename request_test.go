@@ -2,6 +2,7 @@ package hwgc
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -131,5 +132,78 @@ func TestCollectResponseEncodingDeterministic(t *testing.T) {
 	}
 	if !strings.HasSuffix(one, "\n") || !strings.Contains(one, `"Cycles"`) {
 		t.Fatalf("unexpected wire shape:\n%s", one[:120])
+	}
+}
+
+// The response wire format is backward compatible across the concurrent-
+// collection extension: responses written before Stats.Mutator and
+// Config.BarrierMode existed still decode (the new fields stay at their
+// zero values), and a concurrent response round-trips with the mutator
+// block intact.
+func TestCollectResponseCodecCompat(t *testing.T) {
+	// A pre-extension response body: no Mutator block, no BarrierMode.
+	old := `{
+  "Key": "abc",
+  "Bench": "jlisp",
+  "Result": {
+    "Benchmark": "jlisp",
+    "Stats": {
+      "Cycles": 123,
+      "Config": {"Cores": 2}
+    },
+    "PlanObjects": 1,
+    "PlanWords": 8,
+    "LiveObjects": 1,
+    "LiveWords": 8
+  }
+}`
+	var decoded CollectResponse
+	if err := json.Unmarshal([]byte(old), &decoded); err != nil {
+		t.Fatalf("pre-extension response failed to decode: %v", err)
+	}
+	if decoded.Result.Stats.Mutator != nil {
+		t.Fatal("pre-extension response decoded with a mutator block")
+	}
+	if decoded.Result.Stats.Config.BarrierMode != BarrierNone {
+		t.Fatalf("pre-extension response decoded with BarrierMode %q", decoded.Result.Stats.Config.BarrierMode)
+	}
+
+	// A stop-the-world response must not grow the new fields on the wire.
+	stw, err := NewCollectResponse(CollectRequest{Bench: "jlisp", Config: Config{Cores: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := stw.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"Mutator", "BarrierMode", "MutatorOps"} {
+		if strings.Contains(b.String(), field) {
+			t.Errorf("stop-the-world response encodes %q:\n%s", field, b.String())
+		}
+	}
+
+	// A concurrent response round-trips with the mutator block intact.
+	conc, err := NewCollectResponse(CollectRequest{Bench: "jlisp",
+		Config: Config{Cores: 2, MutatorOps: 1 << 40, BarrierMode: BarrierSATB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := conc.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back CollectResponse
+	if err := json.Unmarshal(b.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Result.Stats.Mutator == nil {
+		t.Fatal("concurrent response lost its mutator block on the wire")
+	}
+	if diffs := back.Result.Stats.DiffFields(&conc.Result.Stats); diffs != nil {
+		t.Fatalf("concurrent response stats changed across the wire: %v", diffs)
+	}
+	if back.Result.Stats.Mutator.BarrierInvocations == 0 {
+		t.Fatal("concurrent response carries zero barrier invocations")
 	}
 }

@@ -148,6 +148,38 @@ func TestSnapshotRestoreConfigVariants(t *testing.T) {
 	}
 }
 
+// TestSnapshotRestoreBarrierModes extends the restore matrix to the
+// concurrent-collection extension: a run with the churn mutator attached
+// carries extra machine state in the snapshot (mutator PRNG, op cursor,
+// barrier counters, SATB shade log attribution), all of which must survive
+// a checkpoint taken at an arbitrary cycle.
+func TestSnapshotRestoreBarrierModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, mode := range []BarrierMode{BarrierNone, BarrierSATB, BarrierIncUpdate} {
+		for _, cores := range []int{1, 4, 16} {
+			mode, cores := mode, cores
+			seed := rng.Int63()
+			name := string(mode)
+			if name == "" {
+				name = "none"
+			}
+			t.Run(fmt.Sprintf("%s/cores=%d", name, cores), func(t *testing.T) {
+				t.Parallel()
+				cfg := Config{Cores: cores, MutatorOps: 1 << 40, BarrierMode: mode}
+				want, wantHeap := runUninterrupted(t, "jlisp", cfg)
+				if want.Mutator == nil {
+					t.Fatal("concurrent run reported no mutator stats")
+				}
+				loop := want.Cycles - cfg.WithDefaults().ShutdownCycles
+				rng := rand.New(rand.NewSource(seed))
+				for _, at := range checkpointCycles(rng, loop, 2) {
+					checkRestoredRun(t, "jlisp", cfg, at, want, wantHeap)
+				}
+			})
+		}
+	}
+}
+
 // TestRequestCollectionResponseBytes is the serving-tier contract: a
 // request collection that is checkpointed, serialized, and resumed from the
 // snapshot in a "different process" must produce a response byte-identical

@@ -62,13 +62,17 @@ var SweepObjectives = []string{
 	ObjectiveSpeedupPerCore, ObjectiveSpeedup, ObjectiveMinCycles, ObjectiveWordsPerCycle,
 }
 
-// SweepAxis varies one integer Config field over an explicit value list.
-// Values are canonicalized sorted ascending with duplicates removed; a zero
-// value selects the field's library default exactly as it does on a single
-// CollectRequest.
+// SweepAxis varies one Config field over an explicit value list. Integer
+// fields list their values in Values (canonicalized sorted ascending,
+// duplicates removed; a zero value selects the field's library default
+// exactly as it does on a single CollectRequest). Enum-valued string fields
+// (currently BarrierMode) list theirs in Strings (canonicalized sorted,
+// deduplicated, with "" spelled "none"); exactly one of the two lists must
+// be set.
 type SweepAxis struct {
-	Field  string
-	Values []int64
+	Field   string
+	Values  []int64  `json:",omitempty"`
+	Strings []string `json:",omitempty"`
 }
 
 // SweepConstraint filters the cross product: a point survives when its
@@ -134,6 +138,10 @@ var sweepAxisFields = []axisField{
 	{"MemBanks", func(c *Config) int64 { return int64(c.MemBanks) }, func(c *Config, v int64) { c.MemBanks = int(v) }},
 	{"MemLatency", func(c *Config) int64 { return int64(c.MemLatency) }, func(c *Config, v int64) { c.MemLatency = int(v) }},
 	{"MemStoreQueueDepth", func(c *Config) int64 { return int64(c.MemStoreQueueDepth) }, func(c *Config, v int64) { c.MemStoreQueueDepth = int(v) }},
+	{"MutatorAllocs", func(c *Config) int64 { return c.MutatorAllocs }, func(c *Config, v int64) { c.MutatorAllocs = v }},
+	{"MutatorOps", func(c *Config) int64 { return c.MutatorOps }, func(c *Config, v int64) { c.MutatorOps = v }},
+	{"MutatorPeriod", func(c *Config) int64 { return int64(c.MutatorPeriod) }, func(c *Config, v int64) { c.MutatorPeriod = int(v) }},
+	{"MutatorSeed", func(c *Config) int64 { return c.MutatorSeed }, func(c *Config, v int64) { c.MutatorSeed = v }},
 	{"ShutdownCycles", func(c *Config) int64 { return c.ShutdownCycles }, func(c *Config, v int64) { c.ShutdownCycles = v }},
 	{"StartupCycles", func(c *Config) int64 { return c.StartupCycles }, func(c *Config, v int64) { c.StartupCycles = v }},
 	{"StrideWords", func(c *Config) int64 { return int64(c.StrideWords) }, func(c *Config, v int64) { c.StrideWords = int(v) }},
@@ -148,11 +156,63 @@ func axisFieldByName(name string) (axisField, bool) {
 	return axisField{}, false
 }
 
-// SweepAxisFields lists the Config fields a SweepAxis or SweepConstraint
-// may name, in canonical order.
+// enumAxisField binds an enum-valued (string) Config field to its accessor
+// pair and the canonical spellings of its values. The getter and setter
+// translate the empty in-struct value to/from its canonical spelling so the
+// axis value list never contains "".
+type enumAxisField struct {
+	name   string
+	get    func(*Config) string
+	set    func(*Config, string)
+	values []string // canonical spellings, sorted
+}
+
+// sweepEnumAxisFields lists every sweepable enum-valued Config field in
+// canonical order.
+var sweepEnumAxisFields = []enumAxisField{
+	{
+		name: "BarrierMode",
+		get: func(c *Config) string {
+			if c.BarrierMode == BarrierNone {
+				return "none"
+			}
+			return string(c.BarrierMode)
+		},
+		set: func(c *Config, v string) {
+			if v == "none" {
+				c.BarrierMode = BarrierNone
+				return
+			}
+			c.BarrierMode = BarrierMode(v)
+		},
+		values: []string{"incupdate", "none", "satb"},
+	},
+}
+
+func enumAxisFieldByName(name string) (enumAxisField, bool) {
+	for _, f := range sweepEnumAxisFields {
+		if f.name == name {
+			return f, true
+		}
+	}
+	return enumAxisField{}, false
+}
+
+// SweepAxisFields lists the integer Config fields a SweepAxis or
+// SweepConstraint may name, in canonical order.
 func SweepAxisFields() []string {
 	out := make([]string, len(sweepAxisFields))
 	for i, f := range sweepAxisFields {
+		out[i] = f.name
+	}
+	return out
+}
+
+// SweepEnumAxisFields lists the enum-valued Config fields a SweepAxis may
+// name (constraints stay integer-only), in canonical order.
+func SweepEnumAxisFields() []string {
+	out := make([]string, len(sweepEnumAxisFields))
+	for i, f := range sweepEnumAxisFields {
 		out[i] = f.name
 	}
 	return out
@@ -214,29 +274,59 @@ func (s *SweepSpace) Canonicalize() error {
 	seenAxis := map[string]bool{}
 	for i := range s.Axes {
 		ax := &s.Axes[i]
-		f, ok := axisFieldByName(ax.Field)
-		if !ok {
-			return fmt.Errorf("hwgc: sweep axis %q: unknown Config field (valid: %v)", ax.Field, SweepAxisFields())
+		f, intField := axisFieldByName(ax.Field)
+		ef, enumField := enumAxisFieldByName(ax.Field)
+		if !intField && !enumField {
+			return fmt.Errorf("hwgc: sweep axis %q: unknown Config field (valid: %v + %v)",
+				ax.Field, SweepAxisFields(), SweepEnumAxisFields())
 		}
 		if seenAxis[ax.Field] {
 			return fmt.Errorf("hwgc: duplicate sweep axis %q", ax.Field)
 		}
 		seenAxis[ax.Field] = true
-		if len(ax.Values) == 0 {
-			return fmt.Errorf("hwgc: sweep axis %q lists no values", ax.Field)
-		}
-		// Every value must yield a valid config when applied alone: Config
-		// validation is per-field, so single-substitution checking is exact
-		// and catches a bad value before the cross product multiplies it.
-		for _, v := range ax.Values {
-			probe := s.Base
-			f.set(&probe, v)
-			probe = probe.WithDefaults()
-			if err := probe.Validate(); err != nil {
-				return fmt.Errorf("hwgc: sweep axis %q value %d: %w", ax.Field, v, err)
+		switch {
+		case enumField:
+			if len(ax.Strings) == 0 {
+				return fmt.Errorf("hwgc: sweep axis %q lists no values (enum field, use Strings)", ax.Field)
 			}
+			if len(ax.Values) != 0 {
+				return fmt.Errorf("hwgc: sweep axis %q: enum field takes Strings, not Values", ax.Field)
+			}
+			// Normalize the empty spelling, then validate each value by
+			// single substitution, exactly like the integer path.
+			for j, v := range ax.Strings {
+				if v == "" {
+					ax.Strings[j] = "none"
+					v = "none"
+				}
+				probe := s.Base
+				ef.set(&probe, v)
+				probe = probe.WithDefaults()
+				if err := probe.Validate(); err != nil {
+					return fmt.Errorf("hwgc: sweep axis %q value %q: %w", ax.Field, v, err)
+				}
+			}
+			ax.Strings = dedupeStrings(ax.Strings)
+		default:
+			if len(ax.Values) == 0 {
+				return fmt.Errorf("hwgc: sweep axis %q lists no values", ax.Field)
+			}
+			if len(ax.Strings) != 0 {
+				return fmt.Errorf("hwgc: sweep axis %q: integer field takes Values, not Strings", ax.Field)
+			}
+			// Every value must yield a valid config when applied alone: Config
+			// validation is per-field, so single-substitution checking is exact
+			// and catches a bad value before the cross product multiplies it.
+			for _, v := range ax.Values {
+				probe := s.Base
+				f.set(&probe, v)
+				probe = probe.WithDefaults()
+				if err := probe.Validate(); err != nil {
+					return fmt.Errorf("hwgc: sweep axis %q value %d: %w", ax.Field, v, err)
+				}
+			}
+			ax.Values = dedupeInt64s(ax.Values)
 		}
-		ax.Values = dedupeInt64s(ax.Values)
 	}
 	sort.Slice(s.Axes, func(i, j int) bool { return s.Axes[i].Field < s.Axes[j].Field })
 	for i := range s.Constraints {
@@ -278,7 +368,7 @@ func (s *SweepSpace) Canonicalize() error {
 	}
 	product := int64(len(s.Benches)) * int64(len(s.Scales)) * int64(len(s.Seeds))
 	for _, ax := range s.Axes {
-		product *= int64(len(ax.Values))
+		product *= int64(len(ax.Values) + len(ax.Strings))
 		if product > maxSweepSpaceProduct {
 			return fmt.Errorf("hwgc: sweep space cross product exceeds %d combinations", maxSweepSpaceProduct)
 		}
@@ -409,8 +499,13 @@ func (s *SweepSpace) expand(visit func(SweepPoint) error) (int, error) {
 				for {
 					cfg := s.Base
 					for i, ax := range s.Axes {
-						f, _ := axisFieldByName(ax.Field)
-						f.set(&cfg, ax.Values[idx[i]])
+						if len(ax.Strings) > 0 {
+							ef, _ := enumAxisFieldByName(ax.Field)
+							ef.set(&cfg, ax.Strings[idx[i]])
+						} else {
+							f, _ := axisFieldByName(ax.Field)
+							f.set(&cfg, ax.Values[idx[i]])
+						}
 					}
 					cfg = cfg.WithDefaults()
 					if s.satisfied(&cfg) {
@@ -440,7 +535,7 @@ func (s *SweepSpace) expand(visit func(SweepPoint) error) (int, error) {
 					carry := len(idx) - 1
 					for ; carry >= 0; carry-- {
 						idx[carry]++
-						if idx[carry] < len(s.Axes[carry].Values) {
+						if idx[carry] < len(s.Axes[carry].Values)+len(s.Axes[carry].Strings) {
 							break
 						}
 						idx[carry] = 0

@@ -153,6 +153,115 @@ func TestSweepSpacePointsDedupeDefaultCollision(t *testing.T) {
 	}
 }
 
+// Enum axes canonicalize like integer axes: values sorted, duplicates
+// removed, the empty spelling normalized to "none", and two spellings of the
+// same exploration share one key.
+func TestSweepSpaceEnumAxisCanonicalization(t *testing.T) {
+	a := SweepSpace{
+		Benches: []string{"jlisp"},
+		Axes:    []SweepAxis{{Field: "BarrierMode", Strings: []string{"satb", "", "incupdate", "satb"}}},
+	}
+	b := SweepSpace{
+		Benches: []string{"jlisp"},
+		Axes:    []SweepAxis{{Field: "BarrierMode", Strings: []string{"incupdate", "none", "satb"}}},
+	}
+	aj, err := a.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("canonical encodings differ:\n%s\n%s", aj, bj)
+	}
+	want := []string{"incupdate", "none", "satb"}
+	if len(a.Axes[0].Strings) != len(want) {
+		t.Fatalf("Strings = %v, want %v", a.Axes[0].Strings, want)
+	}
+	for i, v := range want {
+		if a.Axes[0].Strings[i] != v {
+			t.Fatalf("Strings = %v, want %v", a.Axes[0].Strings, want)
+		}
+	}
+}
+
+// An enum axis crossed with integer axes expands deterministically, stepping
+// its canonical (sorted) value order, and the "none" value canonicalizes to
+// the same point as a base config that never mentions BarrierMode.
+func TestSweepSpaceEnumAxisPoints(t *testing.T) {
+	s := SweepSpace{
+		Benches: []string{"jlisp"},
+		Base:    Config{MutatorOps: 4096},
+		Axes: []SweepAxis{
+			{Field: "BarrierMode", Strings: []string{"none", "satb", "incupdate"}},
+			{Field: "Cores", Values: []int64{1, 4}},
+		},
+	}
+	pts, err := s.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("planned %d points, want 6", len(pts))
+	}
+	// Axes sort alphabetically: BarrierMode outermost, Cores innermost.
+	wantModes := []BarrierMode{
+		BarrierIncUpdate, BarrierIncUpdate, BarrierNone, BarrierNone, BarrierSATB, BarrierSATB,
+	}
+	for i, p := range pts {
+		if p.Req.Config.BarrierMode != wantModes[i] {
+			t.Fatalf("point %d BarrierMode = %q, want %q", i, p.Req.Config.BarrierMode, wantModes[i])
+		}
+		if p.Req.Config.MutatorOps != 4096 {
+			t.Fatalf("point %d lost Base.MutatorOps", i)
+		}
+	}
+	// The "none" points must share keys with a space that leaves BarrierMode
+	// at its default entirely.
+	base := SweepSpace{
+		Benches: []string{"jlisp"},
+		Base:    Config{MutatorOps: 4096},
+		Axes:    []SweepAxis{{Field: "Cores", Values: []int64{1, 4}}},
+	}
+	bpts, err := base.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[2].Key != bpts[0].Key || pts[3].Key != bpts[1].Key {
+		t.Fatal(`"none" axis points do not collide with the implicit default`)
+	}
+}
+
+func TestSweepSpaceEnumAxisRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		s    SweepSpace
+	}{
+		{"enum field with Values", SweepSpace{Benches: []string{"jlisp"},
+			Axes: []SweepAxis{{Field: "BarrierMode", Values: []int64{1}}}}},
+		{"enum field with both lists", SweepSpace{Benches: []string{"jlisp"},
+			Axes: []SweepAxis{{Field: "BarrierMode", Strings: []string{"satb"}, Values: []int64{1}}}}},
+		{"enum field empty", SweepSpace{Benches: []string{"jlisp"},
+			Axes: []SweepAxis{{Field: "BarrierMode"}}}},
+		{"invalid enum value", SweepSpace{Benches: []string{"jlisp"},
+			Axes: []SweepAxis{{Field: "BarrierMode", Strings: []string{"cardtable"}}}}},
+		{"int field with Strings", SweepSpace{Benches: []string{"jlisp"},
+			Axes: []SweepAxis{{Field: "Cores", Values: []int64{1}, Strings: []string{"satb"}}}}},
+		{"enum field in constraint", SweepSpace{Benches: []string{"jlisp"},
+			Constraints: []SweepConstraint{{A: "BarrierMode", Op: "==", Value: int64p(1)}}}},
+		{"duplicate enum axis", SweepSpace{Benches: []string{"jlisp"}, Axes: []SweepAxis{
+			{Field: "BarrierMode", Strings: []string{"satb"}},
+			{Field: "BarrierMode", Strings: []string{"none"}}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.s.Canonicalize(); err == nil {
+			t.Errorf("%s: Canonicalize accepted", tc.name)
+		}
+	}
+}
+
 func TestSweepSpaceConstraints(t *testing.T) {
 	s := SweepSpace{
 		Benches: []string{"jlisp"},
