@@ -354,3 +354,77 @@ func BenchmarkBarrierModes(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkNUMAModes is extension E5: the same collection on the flat
+// machine and on a 4-domain NUMA machine under naive and locality-aware
+// tospace placement. The reported gc-clock-cycles and the local/remote
+// access split are exact deterministic simulation outputs; CI pins them
+// against BENCH_9.json so a change to domain classification or placement
+// cannot land silently.
+func BenchmarkNUMAModes(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"flat", Config{Cores: 8}},
+		{"naive", Config{Cores: 8, NUMADomains: 4}},
+		{"local", Config{Cores: 8, NUMADomains: 4, NUMAPlacement: PlacementLocal}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var st Stats
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				h, err := BuildWorkload("jlisp", 1, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				st, err = Collect(h, mode.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.Cycles), "gc-clock-cycles")
+			b.ReportMetric(float64(st.Mem.LocalAccesses), "local-accesses")
+			b.ReportMetric(float64(st.Mem.RemoteAccesses), "remote-accesses")
+		})
+	}
+}
+
+// BenchmarkCacheModel is the cache half of extension E5: the collection
+// with the private-L1/shared-L2 model on, alone and composed with NUMA.
+// gc-clock-cycles and the hit/miss words are exact deterministic outputs;
+// CI pins them against BENCH_9.json so a change to tag handling, MSHR
+// accounting or the hit-latency path cannot land silently.
+func BenchmarkCacheModel(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"cache", Config{Cores: 8, L1Sets: 16}},
+		{"cache-numa", Config{Cores: 8, L1Sets: 16, NUMADomains: 4}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var st Stats
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				h, err := BuildWorkload("jlisp", 1, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				st, err = Collect(h, mode.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if st.Mem.L1Hits == 0 {
+				b.Fatal("cache run recorded no L1 hits")
+			}
+			b.ReportMetric(float64(st.Cycles), "gc-clock-cycles")
+			b.ReportMetric(float64(st.Mem.L1Hits), "l1-hit-words")
+			b.ReportMetric(float64(st.Mem.L2Hits), "l2-hit-words")
+			b.ReportMetric(float64(st.Mem.L2Misses), "dram-words")
+		})
+	}
+}

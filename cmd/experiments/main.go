@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [flags] <fig5|fig6|tab1|tab2|fifo|markopt|bandwidth|baselines|all>
+//	experiments [flags] <fig5|fig6|tab1|tab2|fifo|markopt|bandwidth|numa|baselines|all>
 //
 // Flags:
 //
@@ -89,10 +89,12 @@ func run(cmd string) error {
 		return concurrent()
 	case "barriers":
 		return barriers()
+	case "numa":
+		return numa()
 	case "seeds":
 		return seeds()
 	case "all":
-		for _, c := range []string{"fig5", "fig6", "tab1", "tab2", "fifo", "markopt", "bandwidth", "stride", "hdrcache", "heapsize", "pauses", "robustness", "seeds", "concurrent", "barriers", "baselines"} {
+		for _, c := range []string{"fig5", "fig6", "tab1", "tab2", "fifo", "markopt", "bandwidth", "stride", "hdrcache", "heapsize", "pauses", "robustness", "seeds", "concurrent", "barriers", "numa", "baselines"} {
 			if err := run(c); err != nil {
 				return err
 			}
@@ -100,7 +102,7 @@ func run(cmd string) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (have fig5 fig6 tab1 tab2 fifo markopt bandwidth stride hdrcache heapsize pauses robustness seeds concurrent barriers baselines all)", cmd)
+		return fmt.Errorf("unknown experiment %q (have fig5 fig6 tab1 tab2 fifo markopt bandwidth stride hdrcache heapsize pauses robustness seeds concurrent barriers numa baselines all)", cmd)
 	}
 }
 
@@ -356,6 +358,26 @@ func barriers() error {
 			fmt.Sprint(r.BarrierInvocations), fmt.Sprint(r.BarrierCycles),
 			fmt.Sprint(r.FloatingWords), fmt.Sprint(r.MarkTermCycles),
 			fmt.Sprintf("%d cycles", r.MaxOpLatency))
+	}
+	return t.Write(os.Stdout)
+}
+
+func numa() error {
+	rows, err := experiments.NUMA([]string{"jlisp", "db"}, experiments.PaperCoreCounts, opts(experiments.Fig5Config()))
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable(
+		"Extension E5: NUMA locality, 4 domains, naive vs locality-aware tospace placement",
+		"Application", "Cores", "Placement", "GC cycles", "Slowdown vs flat", "Local", "Remote", "Remote frac")
+	for _, r := range rows {
+		slow, frac := "-", "-"
+		if r.Mode != "flat" {
+			slow = fmt.Sprintf("%.3f", r.Slowdown())
+			frac = fmt.Sprintf("%.1f%%", 100*r.RemoteFraction)
+		}
+		t.Add(r.Bench, fmt.Sprint(r.Cores), r.Mode, fmt.Sprint(r.Cycles), slow,
+			fmt.Sprint(r.LocalAccesses), fmt.Sprint(r.RemoteAccesses), frac)
 	}
 	return t.Write(os.Stdout)
 }

@@ -36,11 +36,18 @@
 // files passed via -sweep flow through verbatim, so BarrierMode axes in the
 // spec JSON reach the server unchanged.
 //
+// With -numa <domains>, every generated request runs on a NUMA machine with
+// that many memory domains (-placement selects naive or locality-aware
+// tospace placement); with -cache <sets>, the private-L1/shared-L2 cache
+// model is enabled with that many L1 sets. Both compose with -barrier, so a
+// single gcload invocation can exercise the full concurrent + hierarchy
+// configuration space against a server.
+//
 // Usage:
 //
 //	gcload [-url http://localhost:8080] [-n 1000] [-c 100] [-qps 0]
 //	       [-bench jlisp] [-cores 8] [-scale 1] [-distinct 8]
-//	       [-barrier M] [-mutops N]
+//	       [-barrier M] [-mutops N] [-numa D] [-placement P] [-cache S]
 //	       [-sweepreq] [-batch 0] [-async] [-class C] [-poll 25ms]
 //	       [-sweep spec.json] [-timeout 30s]
 package main
@@ -73,6 +80,9 @@ type loadConfig struct {
 	distinct  int
 	barrier   string // write-barrier mode; non-empty turns requests concurrent
 	mutops    int64  // concurrent mutator operation budget (0 = unbounded)
+	numa      int    // NUMA domain count; positive enables the NUMA model
+	placement string // tospace placement for -numa ("naive" or "local")
+	cache     int    // L1 sets; positive enables the cache model
 	sweepReq  bool
 	sweepSpec string // path to a SweepSpace JSON file (-sweep mode)
 	batch     int
@@ -94,6 +104,9 @@ func main() {
 	flag.IntVar(&cfg.distinct, "distinct", 8, "distinct seed variants to rotate through")
 	flag.StringVar(&cfg.barrier, "barrier", "", `write-barrier mode for generated requests ("none", "satb", "incupdate"); any value turns on the built-in concurrent mutator`)
 	flag.Int64Var(&cfg.mutops, "mutops", 0, "concurrent mutator operation budget (0 with -barrier = effectively unbounded)")
+	flag.IntVar(&cfg.numa, "numa", 0, "NUMA domain count for generated requests (0 = uniform memory)")
+	flag.StringVar(&cfg.placement, "placement", "", `tospace placement with -numa ("naive" or "local")`)
+	flag.IntVar(&cfg.cache, "cache", 0, "L1 cache sets for generated requests (0 = no cache model)")
 	flag.BoolVar(&cfg.sweepReq, "sweepreq", false, "POST /v1/sweep instead of /v1/collect")
 	flag.StringVar(&cfg.sweepSpec, "sweep", "", "submit this SweepSpace spec file to POST /v1/sweeps and report frontier convergence")
 	flag.IntVar(&cfg.batch, "batch", 0, "POST /v1/batch with this many mixed items per request (0 = single requests)")
@@ -197,6 +210,16 @@ func (r *report) print(w io.Writer) {
 	if r.cfg.barrier != "" || r.cfg.mutops > 0 {
 		scenario = fmt.Sprintf(" barrier=%s mutops=%d", r.cfg.config().BarrierMode, r.cfg.config().MutatorOps)
 	}
+	if r.cfg.numa > 0 {
+		placement := r.cfg.placement
+		if placement == "" {
+			placement = "naive"
+		}
+		scenario += fmt.Sprintf(" numa=%d placement=%s", r.cfg.numa, placement)
+	}
+	if r.cfg.cache > 0 {
+		scenario += fmt.Sprintf(" cache=%d", r.cfg.cache)
+	}
 	fmt.Fprintf(w, "gcload: POST %s bench=%s cores=%d scale=%d distinct-seeds=%d%s\n",
 		endpoint, r.cfg.bench, r.cfg.cores, r.cfg.scale, r.cfg.distinct, scenario)
 	secs := r.elapsed.Seconds()
@@ -250,9 +273,10 @@ func (r *report) print(w io.Writer) {
 // config returns the coprocessor configuration every generated request
 // carries. With -barrier (or -mutops) set the request becomes a concurrent-
 // collection scenario: the built-in churn mutator runs on the mutator port
-// under the selected write barrier. Validation happens downstream when the
-// request canonicalizes, so a bad -barrier value fails fast with the
-// library's own error.
+// under the selected write barrier. -numa and -cache switch on the memory
+// hierarchy. Validation happens downstream when the request canonicalizes,
+// so a bad -barrier or -placement value fails fast with the library's own
+// error.
 func (cfg *loadConfig) config() hwgc.Config {
 	c := hwgc.Config{Cores: cfg.cores, MutatorOps: cfg.mutops}
 	if cfg.barrier != "" {
@@ -260,6 +284,13 @@ func (cfg *loadConfig) config() hwgc.Config {
 		if c.MutatorOps == 0 {
 			c.MutatorOps = 1 << 40 // churn for the whole collection
 		}
+	}
+	if cfg.numa > 0 || cfg.placement != "" {
+		c.NUMADomains = cfg.numa
+		c.NUMAPlacement = hwgc.NUMAPlacement(cfg.placement)
+	}
+	if cfg.cache > 0 {
+		c.L1Sets = cfg.cache
 	}
 	return c
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"hwgc"
 	"hwgc/internal/server"
 )
 
@@ -65,6 +66,72 @@ func TestLoadAgainstLiveServer(t *testing.T) {
 	}
 	if rep.percentile(0.5) <= 0 || rep.percentile(0.99) < rep.percentile(0.5) {
 		t.Fatalf("implausible percentiles: p50 %s p99 %s", rep.percentile(0.5), rep.percentile(0.99))
+	}
+}
+
+// TestHierarchyLoadAgainstLiveServer drives the -numa/-placement/-cache
+// flags against a real gcserved: hierarchy-enabled requests must succeed and
+// stay byte-identical across repeats, exactly like the flat path.
+func TestHierarchyLoadAgainstLiveServer(t *testing.T) {
+	srv, err := server.New(server.Options{Workers: 4, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("server drain: %v", err)
+		}
+	}()
+
+	rep, err := runLoad(loadConfig{
+		url:       ts.URL,
+		requests:  60,
+		workers:   20,
+		bench:     "jlisp",
+		cores:     4,
+		scale:     1,
+		distinct:  2,
+		numa:      2,
+		placement: "local",
+		cache:     16,
+		timeout:   60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.failed() {
+		rep.print(testWriter{t})
+		t.Fatal("hierarchy load run reported failure")
+	}
+	if rep.statuses[200] == 0 {
+		t.Fatalf("no successful requests: %v", rep.statuses)
+	}
+	if rep.mismatch != 0 {
+		t.Fatalf("%d hierarchy responses were not byte-identical to their first occurrence", rep.mismatch)
+	}
+}
+
+// TestLoadConfigHierarchy pins the flag-to-config mapping: -numa selects the
+// domain count and placement, -cache the L1 set count, and leaving them at
+// their zero values keeps the generated config flat (bit-identical requests
+// with pre-hierarchy gcload builds).
+func TestLoadConfigHierarchy(t *testing.T) {
+	cfg := loadConfig{cores: 4, numa: 2, placement: "local", cache: 16}
+	c := cfg.config()
+	if c.NUMADomains != 2 || c.NUMAPlacement != hwgc.PlacementLocal {
+		t.Fatalf("NUMA flags not mapped: %+v", c)
+	}
+	if c.L1Sets != 16 {
+		t.Fatalf("-cache not mapped to L1Sets: %+v", c)
+	}
+	flat := loadConfig{cores: 4}
+	if got := flat.config(); got != (hwgc.Config{Cores: 4}) {
+		t.Fatalf("flat config grew fields: %+v", got)
 	}
 }
 

@@ -105,6 +105,48 @@ func TestRecordResumeBarrierMode(t *testing.T) {
 	}
 }
 
+// TestRecordResumeMemoryHierarchy runs the record/resume loop over a
+// NUMA + cache collection: the -config JSON carries the hierarchy knobs,
+// the recorded checkpoints embed the completion classes, extra completion
+// rings and cache tag arrays, and every resume lands on the uninterrupted
+// run's cycle count.
+func TestRecordResumeMemoryHierarchy(t *testing.T) {
+	cfg := hwgc.Config{Cores: 4, NUMADomains: 2, NUMAPlacement: hwgc.PlacementLocal, L1Sets: 16}
+	h, err := hwgc.BuildWorkload("jlisp", 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := hwgc.Collect(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Mem.LocalAccesses+want.Mem.RemoteAccesses == 0 || want.Mem.L1Hits == 0 {
+		t.Fatalf("reference run has no hierarchy activity: %+v", want.Mem)
+	}
+
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err = cmdRecord([]string{"-bench", "jlisp",
+		"-config", `{"Cores":4,"NUMADomains":2,"NUMAPlacement":"local","L1Sets":16}`,
+		"-every", "500", "-out", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no checkpoints written (err=%v)", err)
+	}
+	for _, snap := range snaps {
+		out.Reset()
+		if err := cmdResume([]string{"-snap", snap}, &out); err != nil {
+			t.Fatalf("resume %s: %v", snap, err)
+		}
+		if !strings.Contains(out.String(), "finished at cycle "+strconv.FormatInt(want.Cycles, 10)) {
+			t.Errorf("resume %s: output %q does not mention cycle %d", snap, out.String(), want.Cycles)
+		}
+	}
+}
+
 // TestBisectInjectedDivergence is the acceptance test for bisect: inject a
 // single-bit heap corruption into run B at a known cycle and check that the
 // binary search pinpoints exactly that cycle.

@@ -128,6 +128,9 @@ func TestFastForwardDeterminismConfigs(t *testing.T) {
 		{"tiny-fifo", Config{FIFOCapacity: 2}},
 		{"no-fifo", Config{DisableFIFO: true}},
 		{"banks", Config{MemBanks: 4}},
+		{"numa", Config{NUMADomains: 4, NUMARemotePenalty: 30}},
+		{"numa-local", Config{NUMADomains: 4, NUMAPlacement: PlacementLocal}},
+		{"numa-banks", Config{NUMADomains: 2, NUMABandwidth: 2, MemBanks: 4}},
 	}
 	for _, v := range variants {
 		for _, cores := range []int{1, 4, 16} {
@@ -140,6 +143,61 @@ func TestFastForwardDeterminismConfigs(t *testing.T) {
 				checkIdentical(t, ff, stepped)
 			})
 		}
+	}
+}
+
+// TestCacheModelDeterminism covers the private-L1/shared-L2 extension. The
+// cache model disables fast-forwarding structurally — a hit can complete a
+// load in any cycle, so no cycle is provably dead — which makes the FF run
+// trivially identical; the suite therefore pins jumps==0 (the gate actually
+// engaged) and additionally checks the model did real work (L1 hits landed).
+func TestCacheModelDeterminism(t *testing.T) {
+	variants := []struct {
+		name string
+		cfg  Config
+	}{
+		{"cache", Config{L1Sets: 16}},
+		{"cache-mshr", Config{L1Sets: 8, L1Ways: 1, MSHRs: 2}},
+		{"cache-numa", Config{L1Sets: 16, NUMADomains: 4, NUMARemotePenalty: 30}},
+	}
+	for _, v := range variants {
+		for _, cores := range []int{1, 4, 16} {
+			v, cores := v, cores
+			t.Run(fmt.Sprintf("%s/cores=%d", v.name, cores), func(t *testing.T) {
+				t.Parallel()
+				cfg := v.cfg
+				cfg.Cores = cores
+				ff, stepped, jumps, _ := collectBoth(t, "javacc", 1, 42, cfg)
+				if jumps != 0 {
+					t.Errorf("machine fast-forwarded %d times with the cache model on", jumps)
+				}
+				checkIdentical(t, ff, stepped)
+				if ff.Mem.L1Hits == 0 {
+					t.Errorf("%s run recorded no L1 hits", v.name)
+				}
+			})
+		}
+	}
+}
+
+// TestNUMAFastForwardSkipsCycles pins the NUMA rows of the determinism
+// matrix against vacuity: unlike the cache model, pure NUMA keeps every
+// completion time computable at issue, so fast-forwarding stays live — and
+// on a one-core run with a heavy remote penalty it must skip a large share
+// of the (mostly remote-latency) cycles.
+func TestNUMAFastForwardSkipsCycles(t *testing.T) {
+	cfg := Config{Cores: 1, NUMADomains: 4, NUMARemotePenalty: 40}
+	ff, stepped, jumps, skipped := collectBoth(t, "javacc", 1, 42, cfg)
+	checkIdentical(t, ff, stepped)
+	if jumps == 0 || skipped == 0 {
+		t.Fatalf("fast-forward never fired under NUMA: jumps=%d skipped=%d", jumps, skipped)
+	}
+	if ff.Mem.RemoteAccesses == 0 {
+		t.Fatal("NUMA run classified no remote accesses")
+	}
+	if frac := float64(skipped) / float64(ff.Cycles); frac < 0.5 {
+		t.Errorf("fast-forward skipped only %.1f%% of %d cycles; expected a remote-latency-bound 1-core run to be mostly dead",
+			100*frac, ff.Cycles)
 	}
 }
 

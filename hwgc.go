@@ -90,6 +90,9 @@ type (
 	// BarrierMode selects the write-barrier discipline the concurrent
 	// mutator's pointer stores go through.
 	BarrierMode = machine.BarrierMode
+	// NUMAPlacement selects how the collector places the tospace relative
+	// to the NUMA domains (Config.NUMAPlacement).
+	NUMAPlacement = machine.NUMAPlacement
 )
 
 // Write-barrier modes for concurrent collection (Config.BarrierMode).
@@ -102,6 +105,15 @@ const (
 	// BarrierIncUpdate is the Dijkstra-style incremental-update insertion
 	// barrier: the newly stored target is shaded.
 	BarrierIncUpdate = machine.BarrierIncUpdate
+)
+
+// Tospace placement policies for the NUMA model (Config.NUMAPlacement).
+const (
+	// PlacementNaive interleaves the tospace across all domains.
+	PlacementNaive = machine.PlacementNaive
+	// PlacementLocal serves each core's evacuation window from its own
+	// domain, so copied words never cross a domain boundary.
+	PlacementLocal = machine.PlacementLocal
 )
 
 // Concurrent mutator operation kinds.

@@ -11,6 +11,7 @@ import (
 
 	"hwgc/internal/core"
 	"hwgc/internal/gcconc"
+	"hwgc/internal/gcnuma"
 	"hwgc/internal/machine"
 	"hwgc/internal/mutator"
 	"hwgc/internal/stats"
@@ -579,6 +580,66 @@ func Barriers(benches []string, cores int, o Options) ([]BarrierRow, error) {
 				MarkTermCycles:     ms.MarkTermCycles,
 				MaxOpLatency:       ms.MaxOpLatency,
 			})
+		}
+	}
+	return rows, nil
+}
+
+// NUMARow is one (benchmark, core count, placement mode) line of the
+// locality comparison: the gcnuma scenario family's answer to "how much of
+// the collector's DRAM traffic crosses a domain boundary, and what does
+// locality-aware tospace placement buy back".
+type NUMARow struct {
+	Bench           string
+	Cores           int
+	Mode            string // "flat", "naive", "local"
+	Cycles          int64
+	FlatCycles      int64   // uniform-memory baseline at the same core count
+	LocalAccesses   int64   // DRAM acceptances served by the requester's domain
+	RemoteAccesses  int64   // DRAM acceptances that crossed a domain boundary
+	RemoteFraction  float64 // RemoteAccesses / (Local + Remote)
+	DomainConflicts int64   // acceptances deferred by an exhausted domain budget
+}
+
+// Slowdown is the cycle cost of the NUMA penalties relative to the flat
+// baseline at the same core count (1.0 for the baseline itself).
+func (r NUMARow) Slowdown() float64 {
+	if r.FlatCycles == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.FlatCycles)
+}
+
+// NUMA runs the locality scenario family (extension E5): each benchmark
+// collected at each core count on the flat machine and on a NUMA machine
+// under naive and locality-aware tospace placement, comparing remote-access
+// fractions and cycle counts. Rows are grouped by benchmark, then core
+// count, then gcnuma.Modes() order.
+func NUMA(benches []string, coreCounts []int, o Options) ([]NUMARow, error) {
+	o = o.norm()
+	var rows []NUMARow
+	for _, b := range benches {
+		for _, cores := range coreCounts {
+			base := o.Base
+			base.Cores = cores
+			cmp, err := gcnuma.Compare(b, o.Scale, o.Seed, base, o.Verify)
+			if err != nil {
+				return nil, err
+			}
+			flat := cmp.Flat().Stats.Cycles
+			for _, r := range cmp.Rows {
+				rows = append(rows, NUMARow{
+					Bench:           b,
+					Cores:           cores,
+					Mode:            gcnuma.Label(r.Scenario.Mode),
+					Cycles:          r.Stats.Cycles,
+					FlatCycles:      flat,
+					LocalAccesses:   r.Stats.Mem.LocalAccesses,
+					RemoteAccesses:  r.Stats.Mem.RemoteAccesses,
+					RemoteFraction:  r.RemoteFraction(),
+					DomainConflicts: r.Stats.Mem.DomainConflicts,
+				})
+			}
 		}
 	}
 	return rows, nil

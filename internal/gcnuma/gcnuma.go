@@ -1,0 +1,153 @@
+// Package gcnuma defines the locality scenario family: a benchmark heap
+// collected by the simulated coprocessor on a NUMA machine — the address
+// space interleaved over memory domains, each GC core affine to one domain,
+// cross-domain accesses paying a remote latency penalty (internal/mem's
+// domain model). The family compares tospace placement policies on identical
+// heaps: a flat (uniform-memory) baseline, naive interleaved placement where
+// the tospace is striped across all domains, and locality-aware placement
+// where each core's evacuation window is served by its own domain. The
+// headline metric is the remote-access fraction — how much of the
+// collector's DRAM traffic crosses a domain boundary — alongside the cycle
+// count.
+//
+// Scenarios are plain machine configurations, so the whole serving stack —
+// gcserved's content-keyed cache, the jobs tier, sweeps, replay — runs them
+// with no plumbing beyond what Config already carries; this package adds the
+// canonical expansion and comparison logic on top.
+package gcnuma
+
+import (
+	"fmt"
+
+	"hwgc/internal/core"
+	"hwgc/internal/machine"
+)
+
+// DefaultDomains is the domain count a scenario uses when its base config
+// leaves NUMADomains unset: four domains, a typical socket count for the
+// multi-core hosts the paper's FPGA prototype stands in for.
+const DefaultDomains = 4
+
+// Mode is one tospace-placement policy of the locality family.
+type Mode string
+
+const (
+	// ModeFlat is the uniform-memory baseline: the NUMA model is off and
+	// every access costs the same, as in the paper's original calibration.
+	ModeFlat Mode = "flat"
+	// ModeNaive enables the NUMA model with interleaved (placement-blind)
+	// tospace: evacuation targets are striped across all domains, so a
+	// copied word lands in a remote domain with probability (D-1)/D.
+	ModeNaive Mode = "naive"
+	// ModeLocal enables the NUMA model with locality-aware placement: the
+	// tospace window is served by the evacuating core's own domain, so
+	// copies are always local and only fromspace reads can be remote.
+	ModeLocal Mode = "local"
+)
+
+// Modes lists every placement mode, in canonical report order.
+func Modes() []Mode {
+	return []Mode{ModeFlat, ModeNaive, ModeLocal}
+}
+
+// Label names a mode for tables; it is the mode itself.
+func Label(m Mode) string { return string(m) }
+
+// Scenario is one locality scenario: a benchmark heap collected under one
+// placement mode. The embedded Config carries the domain count, penalty and
+// placement, so a Scenario maps one-to-one onto a canonical CollectRequest.
+type Scenario struct {
+	Bench  string
+	Scale  int
+	Seed   int64
+	Mode   Mode
+	Config core.Config
+}
+
+// New builds the scenario for one benchmark and placement mode on top of a
+// base configuration. For the NUMA modes the domain count defaults to
+// DefaultDomains when the base leaves it unset; penalty and interleave keep
+// the library defaults unless the base overrides them. ModeFlat strips every
+// NUMA knob from the base so the baseline is the uniform-memory machine.
+func New(bench string, scale int, seed int64, base core.Config, mode Mode) Scenario {
+	cfg := base
+	switch mode {
+	case ModeFlat:
+		cfg.NUMADomains = 0
+		cfg.NUMAPlacement = machine.PlacementNaive
+	case ModeLocal:
+		cfg.NUMAPlacement = machine.PlacementLocal
+	default:
+		cfg.NUMAPlacement = machine.PlacementNaive
+	}
+	if mode != ModeFlat && cfg.NUMADomains <= 0 {
+		cfg.NUMADomains = DefaultDomains
+	}
+	return Scenario{Bench: bench, Scale: scale, Seed: seed, Mode: mode, Config: cfg}
+}
+
+// Result pairs a scenario with the statistics of one verified run.
+// Stats.Mem carries the locality side: local and remote DRAM acceptances,
+// domain-budget conflicts, and the cache counters when the cache model is
+// also enabled.
+type Result struct {
+	Scenario Scenario
+	Stats    core.Stats
+}
+
+// RemoteFraction returns the share of domain-classified DRAM acceptances
+// that crossed a domain boundary, in [0, 1]; zero when the NUMA model was
+// off (no access is classified).
+func (r Result) RemoteFraction() float64 {
+	return RemoteFraction(r.Stats)
+}
+
+// RemoteFraction is the remote share of st's classified DRAM traffic.
+func RemoteFraction(st core.Stats) float64 {
+	total := st.Mem.LocalAccesses + st.Mem.RemoteAccesses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Mem.RemoteAccesses) / float64(total)
+}
+
+// Run executes the scenario once on a freshly built heap, verifying the
+// result against the sequential oracle. Deterministic: the same scenario
+// always yields bit-identical Stats.
+func Run(s Scenario, verify bool) (Result, error) {
+	r, err := core.RunBenchmark(s.Bench, s.Scale, s.Seed, s.Config, verify)
+	if err != nil {
+		return Result{}, fmt.Errorf("gcnuma: %s/%s: %w", s.Bench, Label(s.Mode), err)
+	}
+	if s.Mode != ModeFlat && r.Stats.Mem.LocalAccesses+r.Stats.Mem.RemoteAccesses == 0 {
+		return Result{}, fmt.Errorf("gcnuma: %s/%s: run classified no accesses", s.Bench, Label(s.Mode))
+	}
+	return Result{Scenario: s, Stats: r.Stats}, nil
+}
+
+// Comparison aggregates the family over one benchmark at one core count:
+// one Result per placement mode, in Modes() order (the first row is the
+// flat uniform-memory baseline).
+type Comparison struct {
+	Bench string
+	Cores int
+	Rows  []Result
+}
+
+// Flat returns the uniform-memory baseline row.
+func (c Comparison) Flat() Result { return c.Rows[0] }
+
+// Compare runs the full scenario family over one benchmark: the flat
+// baseline plus one NUMA run per placement policy, each on an identically
+// built fresh heap.
+func Compare(bench string, scale int, seed int64, base core.Config, verify bool) (Comparison, error) {
+	cmp := Comparison{Bench: bench, Cores: base.Cores}
+	for _, mode := range Modes() {
+		r, err := Run(New(bench, scale, seed, base, mode), verify)
+		if err != nil {
+			return Comparison{}, err
+		}
+		cmp.Rows = append(cmp.Rows, r)
+	}
+	return cmp, nil
+}

@@ -1,0 +1,95 @@
+package gcnuma
+
+import (
+	"testing"
+
+	"hwgc/internal/core"
+	"hwgc/internal/machine"
+)
+
+func TestRunDeterministic(t *testing.T) {
+	for _, mode := range Modes() {
+		s := New("jlisp", 1, 42, core.Config{Cores: 4}, mode)
+		a, err := Run(s, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(s, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diffs := a.Stats.DiffFields(&b.Stats); diffs != nil {
+			t.Fatalf("%s: repeated run differs: %v", Label(mode), diffs)
+		}
+	}
+}
+
+func TestLocalityCounters(t *testing.T) {
+	cmp, err := Compare("jlisp", 1, 42, core.Config{Cores: 4}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Rows) != len(Modes()) {
+		t.Fatalf("Compare returned %d rows, want %d", len(cmp.Rows), len(Modes()))
+	}
+	flat := cmp.Flat()
+	if flat.Scenario.Mode != ModeFlat {
+		t.Fatalf("first row is %q, want flat baseline", flat.Scenario.Mode)
+	}
+	if flat.Stats.Mem.LocalAccesses != 0 || flat.Stats.Mem.RemoteAccesses != 0 {
+		t.Fatalf("flat baseline classified accesses: %+v", flat.Stats.Mem)
+	}
+	if flat.RemoteFraction() != 0 {
+		t.Fatal("flat baseline has a nonzero remote fraction")
+	}
+	var naive, local Result
+	for _, r := range cmp.Rows {
+		switch r.Scenario.Mode {
+		case ModeNaive:
+			naive = r
+		case ModeLocal:
+			local = r
+		}
+		if r.Scenario.Mode == ModeFlat {
+			continue
+		}
+		if r.Scenario.Config.NUMADomains != DefaultDomains {
+			t.Fatalf("%s: domains = %d, want default %d",
+				Label(r.Scenario.Mode), r.Scenario.Config.NUMADomains, DefaultDomains)
+		}
+		if f := r.RemoteFraction(); f <= 0 || f >= 1 {
+			t.Fatalf("%s: remote fraction %f out of (0, 1)", Label(r.Scenario.Mode), f)
+		}
+		// NUMA penalties can only slow the collection down.
+		if r.Stats.Cycles < flat.Stats.Cycles {
+			t.Fatalf("%s: NUMA run faster than the flat baseline (%d < %d)",
+				Label(r.Scenario.Mode), r.Stats.Cycles, flat.Stats.Cycles)
+		}
+	}
+	// Locality-aware placement must cut the remote share, and with it the
+	// cycle count must not regress past the naive policy.
+	if local.RemoteFraction() >= naive.RemoteFraction() {
+		t.Fatalf("local placement did not reduce the remote fraction: %f >= %f",
+			local.RemoteFraction(), naive.RemoteFraction())
+	}
+	if local.Stats.Cycles > naive.Stats.Cycles {
+		t.Fatalf("local placement slower than naive: %d > %d",
+			local.Stats.Cycles, naive.Stats.Cycles)
+	}
+}
+
+func TestNewModeMapping(t *testing.T) {
+	base := core.Config{Cores: 2, NUMADomains: 8, NUMARemotePenalty: 3}
+	s := New("db", 1, 1, base, ModeLocal)
+	if s.Config.NUMADomains != 8 || s.Config.NUMAPlacement != machine.PlacementLocal {
+		t.Fatalf("local scenario config: %+v", s.Config)
+	}
+	s = New("db", 1, 1, base, ModeNaive)
+	if s.Config.NUMADomains != 8 || s.Config.NUMAPlacement != machine.PlacementNaive {
+		t.Fatalf("naive scenario config: %+v", s.Config)
+	}
+	s = New("db", 1, 1, base, ModeFlat)
+	if s.Config.NUMADomains != 0 || s.Config.NUMAPlacement != machine.PlacementNaive {
+		t.Fatalf("flat scenario did not strip the NUMA knobs: %+v", s.Config)
+	}
+}

@@ -13,7 +13,11 @@
 // paper's Table II.
 package machine
 
-import "fmt"
+import (
+	"fmt"
+
+	"hwgc/internal/mem"
+)
 
 // Defaults for zero-valued Config fields. Latency and bandwidth defaults
 // mirror the prototype: the DDR-SDRAM runs at at least four times the 25 MHz
@@ -25,6 +29,7 @@ const (
 	DefaultStartupCycles  = 64        // stop main processor, flush its caches, read registers
 	DefaultShutdownCycles = 32        // drain store buffers, restart main processor
 	MaxCores              = 64
+	MaxNUMADomains        = 64
 
 	// DefaultMutatorPeriod is the inter-operation idle period of the built-in
 	// churn mutator when MutatorOps is set but MutatorPeriod is not.
@@ -59,6 +64,25 @@ func barrierModeValid(b BarrierMode) bool {
 		return true
 	}
 	return false
+}
+
+// NUMAPlacement selects how the collector places the tospace relative to
+// the NUMA domains. It only takes effect when NUMADomains is positive.
+type NUMAPlacement string
+
+const (
+	// PlacementNaive leaves the tospace interleaved over the domains like
+	// the rest of the address space (the default; "naive" normalizes to "").
+	PlacementNaive NUMAPlacement = ""
+	// PlacementLocal models locality-aware placement: every core evacuates
+	// into a region of its own domain, so tospace traffic never pays the
+	// remote penalty.
+	PlacementLocal NUMAPlacement = "local"
+)
+
+// numaPlacementValid reports whether p names a known placement policy.
+func numaPlacementValid(p NUMAPlacement) bool {
+	return p == PlacementNaive || p == PlacementLocal
 }
 
 // Config parameterizes a coprocessor instance.
@@ -150,6 +174,47 @@ type Config struct {
 	// MutatorPeriod is the idle period between mutator operations, i.e. the
 	// mutator's speed relative to the GC clock (default 4).
 	MutatorPeriod int `json:",omitempty"`
+
+	// NUMADomains, when positive, enables the NUMA memory model: the address
+	// space is interleaved over this many domains at NUMAInterleave-word
+	// granularity, each core is affine to domain (core % NUMADomains), and a
+	// cross-domain access pays NUMARemotePenalty extra cycles. Like the
+	// mutator knobs, all memory-hierarchy fields carry omitempty and are
+	// zeroed when their model is disabled, so pre-existing flat
+	// configurations canonicalize — and cache — identically.
+	NUMADomains int `json:",omitempty"`
+	// NUMARemotePenalty is the extra latency of a cross-domain access
+	// (default 8).
+	NUMARemotePenalty int `json:",omitempty"`
+	// NUMAInterleave is the domain interleaving granularity in words
+	// (default 64).
+	NUMAInterleave int `json:",omitempty"`
+	// NUMABandwidth, when positive, caps the requests each domain accepts
+	// per cycle on top of the global MemBandwidth. Zero leaves domains
+	// uncapped.
+	NUMABandwidth int `json:",omitempty"`
+	// NUMAPlacement selects naive ("", interleaved) or locality-aware
+	// ("local") tospace placement; "naive" normalizes to "".
+	NUMAPlacement NUMAPlacement `json:",omitempty"`
+
+	// L1Sets, when positive, enables the private-L1/shared-L2 cache model in
+	// front of the memory scheduler: L1Sets×L1Ways lines per core, an
+	// L2Sets×L2Ways shared L2 (default 4×L1Sets sets), MSHRs miss-status
+	// registers (default 8) and CacheLineWords words per line (default 4). A
+	// hit completes in 1–2 cycles without consuming memory bandwidth; a miss
+	// allocates an MSHR and goes to DRAM; MSHR exhaustion stalls the issuing
+	// port. The model is tag-only and changes timing, never values.
+	L1Sets int `json:",omitempty"`
+	// L1Ways is the L1 associativity (default 2).
+	L1Ways int `json:",omitempty"`
+	// L2Sets is the number of L2 sets (default 4×L1Sets).
+	L2Sets int `json:",omitempty"`
+	// L2Ways is the L2 associativity (default 4).
+	L2Ways int `json:",omitempty"`
+	// MSHRs is the number of outstanding cache misses (default 8).
+	MSHRs int `json:",omitempty"`
+	// CacheLineWords is the cache line size in words (default 4).
+	CacheLineWords int `json:",omitempty"`
 }
 
 // WithDefaults returns c with zero values replaced by defaults.
@@ -195,6 +260,48 @@ func (c Config) WithDefaults() Config {
 		c.MutatorSeed = 0
 		c.MutatorPeriod = 0
 	}
+	if c.NUMAPlacement == "naive" {
+		c.NUMAPlacement = PlacementNaive
+	}
+	if c.NUMADomains > 0 {
+		if c.NUMARemotePenalty == 0 {
+			c.NUMARemotePenalty = mem.DefaultRemotePenalty
+		}
+		if c.NUMAInterleave == 0 {
+			c.NUMAInterleave = mem.DefaultDomainInterleave
+		}
+	} else {
+		// Dead knobs of a disabled model are zeroed, like the mutator's.
+		c.NUMADomains = 0
+		c.NUMARemotePenalty = 0
+		c.NUMAInterleave = 0
+		c.NUMABandwidth = 0
+		c.NUMAPlacement = PlacementNaive
+	}
+	if c.L1Sets > 0 {
+		if c.L1Ways == 0 {
+			c.L1Ways = mem.DefaultL1Ways
+		}
+		if c.L2Sets == 0 {
+			c.L2Sets = 4 * c.L1Sets
+		}
+		if c.L2Ways == 0 {
+			c.L2Ways = mem.DefaultL2Ways
+		}
+		if c.MSHRs == 0 {
+			c.MSHRs = mem.DefaultMSHRs
+		}
+		if c.CacheLineWords == 0 {
+			c.CacheLineWords = mem.DefaultLineWords
+		}
+	} else {
+		c.L1Sets = 0
+		c.L1Ways = 0
+		c.L2Sets = 0
+		c.L2Ways = 0
+		c.MSHRs = 0
+		c.CacheLineWords = 0
+	}
 	return c
 }
 
@@ -221,6 +328,19 @@ func (c Config) Validate() error {
 	}
 	if c.MutatorOps < 0 || c.MutatorAllocs < 0 || c.MutatorPeriod < 0 {
 		return fmt.Errorf("machine: negative mutator parameter")
+	}
+	if c.NUMADomains < 0 || c.NUMARemotePenalty < 0 || c.NUMAInterleave < 0 || c.NUMABandwidth < 0 {
+		return fmt.Errorf("machine: negative NUMA parameter")
+	}
+	if c.NUMADomains > MaxNUMADomains {
+		return fmt.Errorf("machine: NUMADomains must be at most %d, got %d", MaxNUMADomains, c.NUMADomains)
+	}
+	if !numaPlacementValid(c.NUMAPlacement) {
+		return fmt.Errorf("machine: unknown NUMA placement %q (have \"\" or \"naive\", %q)",
+			c.NUMAPlacement, PlacementLocal)
+	}
+	if c.L1Sets < 0 || c.L1Ways < 0 || c.L2Sets < 0 || c.L2Ways < 0 || c.MSHRs < 0 || c.CacheLineWords < 0 {
+		return fmt.Errorf("machine: negative cache parameter")
 	}
 	return nil
 }

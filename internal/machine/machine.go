@@ -94,14 +94,7 @@ func New(h *heap.Heap, cfg Config) (*Machine, error) {
 	m := &Machine{
 		cfg:  cfg,
 		heap: h,
-		mem: mem.New(h.Mem(), mem.Config{
-			Latency:         cfg.MemLatency,
-			ExtraLatency:    cfg.ExtraMemLatency,
-			Bandwidth:       cfg.MemBandwidth,
-			StoreQueueDepth: cfg.MemStoreQueueDepth,
-			Banks:           cfg.MemBanks,
-			BankBusy:        cfg.MemBankBusy,
-		}),
+		mem:  mem.New(h.Mem(), memConfig(cfg)),
 		sb:   syncblock.New(cfg.Cores),
 		fifo: newHeaderFIFO(cfg.FIFOCapacity, cfg.DisableFIFO),
 		hc:   newHeaderCache(cfg.HeaderCacheLines),
@@ -110,6 +103,29 @@ func New(h *heap.Heap, cfg Config) (*Machine, error) {
 		m.strides = newStrideTable(cfg.Cores)
 	}
 	return m, nil
+}
+
+// memConfig maps the machine configuration onto the memory model's. It is
+// the single source of truth for both New and RestoreMachine.
+func memConfig(cfg Config) mem.Config {
+	return mem.Config{
+		Latency:          cfg.MemLatency,
+		ExtraLatency:     cfg.ExtraMemLatency,
+		Bandwidth:        cfg.MemBandwidth,
+		StoreQueueDepth:  cfg.MemStoreQueueDepth,
+		Banks:            cfg.MemBanks,
+		BankBusy:         cfg.MemBankBusy,
+		Domains:          cfg.NUMADomains,
+		RemotePenalty:    cfg.NUMARemotePenalty,
+		DomainInterleave: cfg.NUMAInterleave,
+		DomainBandwidth:  cfg.NUMABandwidth,
+		L1Sets:           cfg.L1Sets,
+		L1Ways:           cfg.L1Ways,
+		L2Sets:           cfg.L2Sets,
+		L2Ways:           cfg.L2Ways,
+		MSHRs:            cfg.MSHRs,
+		LineWords:        cfg.CacheLineWords,
+	}
 }
 
 // Config returns the machine's effective configuration.
@@ -225,6 +241,14 @@ func (m *Machine) BeginCollect() {
 		ports++ // the concurrent mutator uses its own set of memory ports
 	}
 	m.mem.AttachCores(ports)
+	if m.cfg.NUMADomains > 0 && m.cfg.NUMAPlacement == PlacementLocal {
+		// Locality-aware placement: the tospace is allocated out of
+		// per-domain regions, so evacuation and scan traffic to it is local
+		// to every core.
+		m.mem.SetLocalWindow(base, limit)
+	} else {
+		m.mem.SetLocalWindow(0, 0)
+	}
 	m.mutStarted = false
 	m.fifo.Reset()
 	m.hc.Reset()
@@ -261,7 +285,7 @@ func (m *Machine) BeginCollect() {
 	m.doneCount = 0
 	m.ffJumps = 0
 	m.ffSkipped = 0
-	m.microSleep = !m.probing() && !m.NoFastForward && m.mut == nil
+	m.microSleep = !m.probing() && !m.NoFastForward && m.mut == nil && m.cfg.L1Sets == 0
 
 	m.maxCycles = m.cfg.MaxCycles
 	if m.maxCycles <= 0 {
@@ -338,7 +362,10 @@ func (m *Machine) StepCycle() (done bool, err error) {
 		// Monitoring samples signals on every cycle, so tracing forces
 		// full per-cycle stepping (no fast-forward).
 		m.fireProbes()
-	} else if !m.NoFastForward && m.mut == nil {
+	} else if !m.NoFastForward && m.mut == nil && m.cfg.L1Sets == 0 {
+		// The cache model structurally disables fast-forward (like the
+		// mutator): a stalled port's wake-up depends on MSHR occupancy and
+		// tag state, which a jump cannot reproduce exactly.
 		m.fastForward(m.maxCycles, m.scanEnd, &m.emptyCycles)
 	}
 	return false, nil

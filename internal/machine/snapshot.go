@@ -267,14 +267,7 @@ func RestoreMachine(st *State) (*Machine, error) {
 	m := &Machine{
 		cfg:  cfg,
 		heap: h,
-		mem: mem.New(h.Mem(), mem.Config{
-			Latency:         cfg.MemLatency,
-			ExtraLatency:    cfg.ExtraMemLatency,
-			Bandwidth:       cfg.MemBandwidth,
-			StoreQueueDepth: cfg.MemStoreQueueDepth,
-			Banks:           cfg.MemBanks,
-			BankBusy:        cfg.MemBankBusy,
-		}),
+		mem:  mem.New(h.Mem(), memConfig(cfg)),
 		sb:   syncblock.New(cfg.Cores),
 		fifo: newHeaderFIFO(cfg.FIFOCapacity, cfg.DisableFIFO),
 		hc:   newHeaderCache(cfg.HeaderCacheLines),
@@ -287,6 +280,11 @@ func RestoreMachine(st *State) (*Machine, error) {
 		ports++ // the restored mutator keeps its own memory ports
 	}
 	m.mem.AttachCores(ports)
+	if cfg.NUMADomains > 0 && cfg.NUMAPlacement == PlacementLocal {
+		// Re-derive the locality-aware tospace window exactly as
+		// BeginCollect does; it is config + heap state, not snapshot state.
+		m.mem.SetLocalWindow(h.Base(h.OtherSpace()), h.Limit(h.OtherSpace()))
+	}
 	if err := m.mem.RestoreState(st.Mem); err != nil {
 		return nil, err
 	}
@@ -433,7 +431,7 @@ func RestoreMachine(st *State) (*Machine, error) {
 	m.ffJumps = st.FFJumps
 	m.ffSkipped = st.FFSkipped
 	m.NoFastForward = st.NoFastForward
-	m.microSleep = !m.NoFastForward && m.mut == nil // no probe on a fresh restore
+	m.microSleep = !m.NoFastForward && m.mut == nil && cfg.L1Sets == 0 // no probe on a fresh restore
 	m.phase = phaseRunning
 	return m, nil
 }

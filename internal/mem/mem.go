@@ -108,15 +108,65 @@ type Config struct {
 	Banks          int
 	BankBusy       int
 	BankInterleave int
+
+	// Domains, when positive, enables a NUMA model: the address space is
+	// interleaved over Domains memory domains at DomainInterleave-word
+	// granularity, each core is affine to one domain (round-robin by core
+	// index unless Affinity overrides it), and an access whose address lives
+	// in another domain pays RemotePenalty extra cycles of latency.
+	// DomainBandwidth, when positive, additionally caps the number of
+	// requests each domain accepts per cycle (on top of the global
+	// Bandwidth). SetLocalWindow can mark an address range — the
+	// locality-aware tospace — as local to every core. Zero disables the
+	// model.
+	Domains          int
+	RemotePenalty    int
+	DomainInterleave int
+	DomainBandwidth  int
+	// Affinity optionally maps core index to domain; cores beyond its
+	// length (and all cores when nil) use core % Domains.
+	Affinity []int
+
+	// L1Sets, when positive, enables a two-level cache model in front of the
+	// scheduler: a private per-core L1 (L1Sets sets × L1Ways ways) and a
+	// shared L2 (L2Sets × L2Ways), both with LineWords words per line. The
+	// model is tag-only — data always comes from the backing store at
+	// completion time — so it changes timing, never values. A load that hits
+	// completes after a short fixed latency (HitLatencyL1/HitLatencyL2)
+	// without consuming controller bandwidth; a miss allocates one of MSHRs
+	// miss-status registers and falls through to the NUMA/bank/bandwidth
+	// path, filling both levels on completion. When every MSHR is in use the
+	// issuing port stalls. Stores are write-through no-allocate and bypass
+	// the tags entirely. Zero disables the model.
+	L1Sets    int
+	L1Ways    int
+	L2Sets    int
+	L2Ways    int
+	MSHRs     int
+	LineWords int
 }
 
 // Defaults for zero-valued Config fields.
 const (
-	DefaultLatency         = 3
-	DefaultBandwidth       = 6
-	DefaultStoreQueueDepth = 2
-	DefaultBankBusy        = 2
-	DefaultBankInterleave  = 8
+	DefaultLatency          = 3
+	DefaultBandwidth        = 6
+	DefaultStoreQueueDepth  = 2
+	DefaultBankBusy         = 2
+	DefaultBankInterleave   = 8
+	DefaultRemotePenalty    = 8
+	DefaultDomainInterleave = 64
+	DefaultL1Ways           = 2
+	DefaultL2Ways           = 4
+	DefaultMSHRs            = 8
+	DefaultLineWords        = 4
+)
+
+// Cache hit latencies in core cycles. An L1 hit completes on the next
+// cycle; an L2 hit one cycle later. Both undercut even the minimum DRAM
+// latency, which is the point of the model.
+const (
+	HitLatencyL1 = 1
+	HitLatencyL2 = 2
 )
 
 func (c Config) withDefaults() Config {
@@ -140,14 +190,52 @@ func (c Config) withDefaults() Config {
 			c.BankInterleave = DefaultBankInterleave
 		}
 	}
+	if c.Domains > 0 {
+		if c.RemotePenalty <= 0 {
+			c.RemotePenalty = DefaultRemotePenalty
+		}
+		if c.DomainInterleave <= 0 {
+			c.DomainInterleave = DefaultDomainInterleave
+		}
+	}
+	if c.L1Sets > 0 {
+		if c.L1Ways <= 0 {
+			c.L1Ways = DefaultL1Ways
+		}
+		if c.L2Sets <= 0 {
+			c.L2Sets = 4 * c.L1Sets
+		}
+		if c.L2Ways <= 0 {
+			c.L2Ways = DefaultL2Ways
+		}
+		if c.MSHRs <= 0 {
+			c.MSHRs = DefaultMSHRs
+		}
+		if c.LineWords <= 0 {
+			c.LineWords = DefaultLineWords
+		}
+	}
 	return c
 }
+
+// Completion classes: every accepted load belongs to one latency class, and
+// each class has its own completion ring so acceptance order within a class
+// is also completion order. The flat model uses only classDRAM; the NUMA
+// model adds classRemote; the cache model adds the two hit classes.
+const (
+	classDRAM   = 0 // flat or NUMA-local DRAM access
+	classRemote = 1 // NUMA remote DRAM access (lat + RemotePenalty)
+	classL1     = 2 // L1 hit
+	classL2     = 3 // L2 hit
+	numClasses  = 4
+)
 
 // buffer is one single-entry per-core per-port buffer.
 type buffer struct {
 	valid    bool // request present (issued by the core)
 	accepted bool // accepted by the controller (loads only; stores free on acceptance)
 	ready    bool // load data available
+	class    uint8
 	addr     object.Addr
 	data     object.Word
 	doneAt   int64
@@ -164,7 +252,10 @@ type inflightStore struct {
 	doneAt int64
 }
 
-// Stats holds the memory system's performance counters.
+// Stats holds the memory system's performance counters. The
+// memory-hierarchy counters carry omitempty so the encoded statistics of a
+// flat-configuration run are byte-identical to builds that predate the
+// NUMA/cache models.
 type Stats struct {
 	Accepted      [int(numPorts)]int64 // requests accepted, per port
 	BusyCycles    int64                // cycles with at least one acceptance
@@ -174,6 +265,15 @@ type Stats struct {
 	PeakPending   int                  // maximum simultaneously pending requests
 	RejectedByBW  int64                // request-cycles denied purely by bandwidth
 	TotalRequests int64
+
+	LocalAccesses   int64 `json:",omitempty"` // DRAM acceptances served by the requester's domain
+	RemoteAccesses  int64 `json:",omitempty"` // DRAM acceptances paying the remote penalty
+	DomainConflicts int64 `json:",omitempty"` // acceptances deferred by an exhausted domain budget
+	L1Hits          int64 `json:",omitempty"`
+	L1Misses        int64 `json:",omitempty"`
+	L2Hits          int64 `json:",omitempty"`
+	L2Misses        int64 `json:",omitempty"`
+	MSHRFullStalls  int64 `json:",omitempty"` // load issues rejected because every MSHR was busy
 }
 
 // storeReq is a store waiting in a core's store-port queue for acceptance.
@@ -304,12 +404,46 @@ type Memory struct {
 	// of them.
 	waitMask []uint64
 
-	// completions queues accepted loads in acceptance order. Latency is
-	// uniform, so this is also completion order: completeDue pops due
-	// entries instead of scanning every core's buffers. An entry encodes
-	// doneAt<<16 | core<<1 | portIdx (0 = HeaderLoad, 1 = BodyLoad), so
-	// the not-yet-due check never touches a buffer.
+	// completions queues accepted classDRAM loads in acceptance order.
+	// Latency is uniform within a class, so this is also completion order:
+	// completeDue pops due entries instead of scanning every core's buffers.
+	// An entry encodes doneAt<<16 | core<<1 | portIdx (0 = HeaderLoad,
+	// 1 = BodyLoad), so the not-yet-due check never touches a buffer.
 	completions intRing
+
+	// Memory hierarchy (NUMA domains and/or the L1/L2 cache model). hier is
+	// set when either model is enabled; the flat path never touches any of
+	// this state.
+	hier      bool
+	domains   int
+	penalty   int64
+	domIlv    int
+	domBW     int
+	affinity  []int
+	domBudget []int       // per-domain per-cycle acceptance budget (domBW > 0)
+	winBase   object.Addr // SetLocalWindow range, local to every core
+	winLimit  object.Addr // exclusive; 0 means no window
+
+	l1Sets, l1Ways int
+	l2Sets, l2Ways int
+	mshrs          int
+	lineWords      int
+	l1             [][]cacheLine // per core, l1Sets*l1Ways lines
+	l2             []cacheLine   // shared, l2Sets*l2Ways lines
+	lruTick        int64
+	mshrInUse      int
+	stCnt          []int32 // pending stores per address (cache model only)
+
+	// extraComp holds the completion rings of the non-DRAM-local classes,
+	// indexed by class-1. Allocated only when hier is set.
+	extraComp [numClasses - 1]intRing
+}
+
+// cacheLine is one tag-only line of the L1 or L2 model.
+type cacheLine struct {
+	valid bool
+	tag   int64
+	last  int64 // lruTick at last touch
 }
 
 // storeIdx maps a store port to its queue index.
@@ -333,12 +467,70 @@ func New(data []object.Word, cfg Config) *Memory {
 		banks:      cfg.Banks,
 		bankBusy:   int64(cfg.BankBusy),
 		interleave: cfg.BankInterleave,
+		domains:    cfg.Domains,
+		penalty:    int64(cfg.RemotePenalty),
+		domIlv:     cfg.DomainInterleave,
+		domBW:      cfg.DomainBandwidth,
+		affinity:   cfg.Affinity,
+		l1Sets:     cfg.L1Sets,
+		l1Ways:     cfg.L1Ways,
+		l2Sets:     cfg.L2Sets,
+		l2Ways:     cfg.L2Ways,
+		mshrs:      cfg.MSHRs,
+		lineWords:  cfg.LineWords,
 	}
+	m.hier = m.domains > 0 || m.l1Sets > 0
 	if m.banks > 0 {
 		m.busyUntil = make([]int64, m.banks)
 	}
+	if m.domains > 0 && m.domBW > 0 {
+		m.domBudget = make([]int, m.domains)
+	}
+	if m.l1Sets > 0 {
+		m.l2 = make([]cacheLine, m.l2Sets*m.l2Ways)
+		m.stCnt = make([]int32, len(data))
+	}
 	m.hdrCnt = make([]int32, len(data))
 	return m
+}
+
+// domainOf maps an address to its NUMA domain.
+func (m *Memory) domainOf(a object.Addr) int {
+	return int(a) / m.domIlv % m.domains
+}
+
+// coreDomain returns the domain core ci is affine to.
+func (m *Memory) coreDomain(ci int) int {
+	if ci < len(m.affinity) {
+		return m.affinity[ci]
+	}
+	return ci % m.domains
+}
+
+// effDomain returns the domain core ci's access to addr is served by. An
+// address inside the local window — the locality-aware tospace — lives in
+// the accessing core's own domain by construction (each core evacuates into
+// a region of its domain), so both the latency penalty and the per-domain
+// budget use the core's domain for it.
+func (m *Memory) effDomain(ci int, addr object.Addr) int {
+	if addr >= m.winBase && addr < m.winLimit {
+		return m.coreDomain(ci)
+	}
+	return m.domainOf(addr)
+}
+
+// remote reports whether core ci's access to addr crosses domains.
+func (m *Memory) remote(ci int, addr object.Addr) bool {
+	return m.effDomain(ci, addr) != m.coreDomain(ci)
+}
+
+// SetLocalWindow marks [base, limit) as local to every core, modeling
+// locality-aware placement of the tospace: each core bump-allocates in a
+// region of its own domain, so its copy and scan traffic to the window
+// stays local. Call with (0, 0) to clear. No-op unless the NUMA model is
+// enabled.
+func (m *Memory) SetLocalWindow(base, limit object.Addr) {
+	m.winBase, m.winLimit = base, limit
 }
 
 // bankOf maps an address to its DRAM bank.
@@ -379,11 +571,22 @@ func (m *Memory) AttachCores(n int) {
 			for j := 0; j < q.n; j++ {
 				m.hdrCnt[q.at(j).addr] = 0
 			}
+			if m.stCnt != nil {
+				for j := range m.storeQ[i] {
+					q := &m.storeQ[i][j]
+					for k := 0; k < q.n; k++ {
+						m.stCnt[q.at(k).addr] = 0
+					}
+				}
+			}
 		}
 	}
 	for _, s := range m.inflight[m.inflightHead:] {
 		if s.header {
 			m.hdrCnt[s.addr] = 0
+		}
+		if m.stCnt != nil {
+			m.stCnt[s.addr] = 0
 		}
 	}
 
@@ -413,11 +616,38 @@ func (m *Memory) AttachCores(n int) {
 		m.waiting = make([]uint8, n)
 		m.waitMask = make([]uint64, (n+63)/64)
 		m.completions.buf = make([]int64, 2*n)
+		if m.hier {
+			for i := range m.extraComp {
+				m.extraComp[i].buf = make([]int64, 2*n)
+			}
+		}
 	} else {
 		clear(m.waiting)
 		clear(m.waitMask)
 	}
 	m.completions.head, m.completions.n = 0, 0
+	if m.hier {
+		for i := range m.extraComp {
+			m.extraComp[i].head, m.extraComp[i].n = 0, 0
+		}
+	}
+	if m.l1Sets > 0 {
+		// Caches start cold each collection cycle: the main processor owned
+		// the hierarchy in between, so no GC-visible line survives.
+		if len(m.l1) != n {
+			m.l1 = make([][]cacheLine, n)
+			for i := range m.l1 {
+				m.l1[i] = make([]cacheLine, m.l1Sets*m.l1Ways)
+			}
+		} else {
+			for i := range m.l1 {
+				clear(m.l1[i])
+			}
+		}
+		clear(m.l2)
+		m.lruTick = 0
+		m.mshrInUse = 0
+	}
 	m.inflight = m.inflight[:0]
 	m.inflightHead = 0
 	m.rr = 0
@@ -445,8 +675,84 @@ func (m *Memory) Stats() Stats { return m.stats }
 // Cycle returns the current scheduler cycle.
 func (m *Memory) Cycle() int64 { return m.cycle }
 
+// probe looks line up in a set-associative tag array, touching its LRU
+// stamp on a hit.
+func (m *Memory) probe(lines []cacheLine, sets, ways int, line int64) bool {
+	way := lines[int(line%int64(sets))*ways:]
+	tag := line / int64(sets)
+	for i := 0; i < ways; i++ {
+		if way[i].valid && way[i].tag == tag {
+			m.lruTick++
+			way[i].last = m.lruTick
+			return true
+		}
+	}
+	return false
+}
+
+// fill installs line into a set-associative tag array, evicting the
+// least-recently-used way (lowest index on ties, for determinism).
+func (m *Memory) fill(lines []cacheLine, sets, ways int, line int64) {
+	way := lines[int(line%int64(sets))*ways:]
+	tag := line / int64(sets)
+	victim := 0
+	for i := 0; i < ways; i++ {
+		if way[i].valid && way[i].tag == tag {
+			victim = i
+			break
+		}
+		if !way[i].valid {
+			if way[victim].valid {
+				victim = i
+			}
+			continue
+		}
+		if way[victim].valid && way[i].last < way[victim].last {
+			victim = i
+		}
+	}
+	m.lruTick++
+	way[victim] = cacheLine{valid: true, tag: tag, last: m.lruTick}
+}
+
+// cacheLookup probes L1 then L2 for core's access to addr, returning the
+// hit class. An L2 hit also fills the core's L1 (tag-only, immediate). On a
+// full miss no counter changes — the caller counts the miss only once the
+// load actually issues, so a port re-probing every cycle while the MSHRs
+// are exhausted does not inflate the miss counts.
+func (m *Memory) cacheLookup(core int, addr object.Addr) (cls uint8, hit bool) {
+	line := int64(addr) / int64(m.lineWords)
+	if m.probe(m.l1[core], m.l1Sets, m.l1Ways, line) {
+		m.stats.L1Hits++
+		return classL1, true
+	}
+	if m.probe(m.l2, m.l2Sets, m.l2Ways, line) {
+		m.stats.L1Misses++
+		m.stats.L2Hits++
+		m.fill(m.l1[core], m.l1Sets, m.l1Ways, line)
+		return classL2, true
+	}
+	return 0, false
+}
+
+// cacheFill installs addr's line in both levels after a miss completes.
+func (m *Memory) cacheFill(core int, addr object.Addr) {
+	line := int64(addr) / int64(m.lineWords)
+	m.fill(m.l2, m.l2Sets, m.l2Ways, line)
+	m.fill(m.l1[core], m.l1Sets, m.l1Ways, line)
+}
+
+// ring returns the completion ring of a latency class.
+func (m *Memory) ring(cls uint8) *intRing {
+	if cls == classDRAM {
+		return &m.completions
+	}
+	return &m.extraComp[cls-1]
+}
+
 // IssueLoad initiates a load on the given core/port. It reports false if the
-// port's buffer is busy (the core must stall and retry next cycle).
+// port's buffer is busy, or — under the cache model — if the load misses
+// while every MSHR is in use (the core must stall and retry next cycle).
 func (m *Memory) IssueLoad(core int, port Port, addr object.Addr) bool {
 	if !port.IsLoad() {
 		panic("mem: IssueLoad on store port " + port.String())
@@ -454,6 +760,35 @@ func (m *Memory) IssueLoad(core int, port Port, addr object.Addr) bool {
 	b := &m.bufs[core][port]
 	if b.valid {
 		return false
+	}
+	if m.l1Sets > 0 {
+		// A pending store to the same address forces the load to memory so
+		// it observes the committed value's timing (and, for headers, the
+		// comparator array); the tags are not consulted.
+		bypass := m.stCnt[addr] != 0
+		if !bypass {
+			if cls, hit := m.cacheLookup(core, addr); hit {
+				lat := int64(HitLatencyL1)
+				if cls == classL2 {
+					lat = HitLatencyL2
+				}
+				*b = buffer{valid: true, accepted: true, class: cls, addr: addr, doneAt: m.cycle + lat}
+				m.validLoads++
+				m.acceptedLoads++
+				m.ring(cls).push(b.doneAt<<16 | int64(core)<<1 | int64(port>>1))
+				m.stats.TotalRequests++
+				return true
+			}
+		}
+		if m.mshrInUse >= m.mshrs {
+			m.stats.MSHRFullStalls++
+			return false
+		}
+		if !bypass {
+			m.stats.L1Misses++
+			m.stats.L2Misses++
+		}
+		m.mshrInUse++
 	}
 	*b = buffer{valid: true, addr: addr}
 	m.unaccepted++
@@ -534,6 +869,9 @@ func (m *Memory) IssueStore(core int, port Port, addr object.Addr, w object.Word
 	if port == HeaderStore {
 		m.hdrCnt[addr] += hdrCntQueuedOne
 	}
+	if m.stCnt != nil {
+		m.stCnt[addr]++
+	}
 	m.stats.TotalRequests++
 	return true
 }
@@ -593,6 +931,9 @@ func (m *Memory) commitDue() {
 		if s.header {
 			m.hdrCnt[s.addr] -= hdrCntInflightOne
 		}
+		if m.stCnt != nil {
+			m.stCnt[s.addr]--
+		}
 		h++
 	}
 	if h == len(m.inflight) {
@@ -608,19 +949,37 @@ func (m *Memory) commitDue() {
 
 // completeDue marks accepted loads whose latency has elapsed as ready,
 // capturing the loaded word after all due stores have committed. Accepted
-// loads complete in acceptance order (the latency is uniform), so the due
-// prefix of the completion queue identifies them without scanning buffers.
+// loads complete in acceptance order within each latency class (the latency
+// is uniform per class), so the due prefix of each class's completion queue
+// identifies them without scanning buffers. Completions of different
+// classes falling on the same cycle are interchangeable: every capture
+// happens after the cycle's commits, so drain order cannot change data.
 func (m *Memory) completeDue() {
-	for m.completions.n > 0 {
-		e := m.completions.front()
+	m.drainRing(&m.completions)
+	if m.hier {
+		for i := range m.extraComp {
+			m.drainRing(&m.extraComp[i])
+		}
+	}
+}
+
+func (m *Memory) drainRing(r *intRing) {
+	for r.n > 0 {
+		e := r.front()
 		if e>>16 > m.cycle {
 			return
 		}
-		b := &m.bufs[e>>1&0x7fff][Port(e&1)<<1] // portIdx 0 -> HeaderLoad(0), 1 -> BodyLoad(2)
+		ci := int(e >> 1 & 0x7fff)
+		b := &m.bufs[ci][Port(e&1)<<1] // portIdx 0 -> HeaderLoad(0), 1 -> BodyLoad(2)
 		b.data = m.data[b.addr]
 		b.ready = true
 		m.acceptedLoads--
-		m.completions.pop()
+		if m.l1Sets > 0 && b.class < classL1 {
+			// A completed miss releases its MSHR and fills both levels.
+			m.mshrInUse--
+			m.cacheFill(ci, b.addr)
+		}
+		r.pop()
 	}
 }
 
@@ -657,6 +1016,11 @@ func (m *Memory) Tick() {
 func (m *Memory) accept(n int) {
 	budget := m.bw
 	anyAccepted := false
+	if m.domBudget != nil {
+		for i := range m.domBudget {
+			m.domBudget[i] = m.domBW
+		}
+	}
 	// Visit waiting cores in round-robin order starting at rr — the ranges
 	// [rr, n) then [0, rr) — jumping between set bits of waitMask rather
 	// than scanning every core.
@@ -709,15 +1073,20 @@ func (m *Memory) acceptCore(ci int, budget *int) bool {
 				m.stats.OrderDelays++
 				continue
 			}
-			if !m.bankReady(b.addr, true) {
+			if !m.bankReady(b.addr, false) {
 				continue
 			}
+			if !m.domainReady(ci, b.addr, false) {
+				continue
+			}
+			m.bankReady(b.addr, true)
+			m.domainReady(ci, b.addr, true)
 			b.accepted = true
-			b.doneAt = m.cycle + m.lat
+			b.doneAt = m.cycle + m.accessLatency(ci, b.addr, &b.class)
 			m.unaccepted--
 			m.acceptedLoads++
 			m.clearWaiting(ci, p)
-			m.completions.push(b.doneAt<<16 | int64(ci)<<1 | int64(p>>1)) // HeaderLoad=0, BodyLoad=1
+			m.ring(b.class).push(b.doneAt<<16 | int64(ci)<<1 | int64(p>>1)) // HeaderLoad=0, BodyLoad=1
 		} else {
 			q := &m.storeQ[ci][storeIdx(p)]
 			s := q.front()
@@ -725,15 +1094,26 @@ func (m *Memory) acceptCore(ci int, budget *int) bool {
 				m.stats.OrderDelays++
 				continue
 			}
-			if !m.bankReady(s.addr, true) {
+			if !m.bankReady(s.addr, false) {
 				continue
 			}
-			m.inflight = append(m.inflight, inflightStore{
+			if !m.domainReady(ci, s.addr, false) {
+				continue
+			}
+			m.bankReady(s.addr, true)
+			m.domainReady(ci, s.addr, true)
+			var cls uint8
+			st := inflightStore{
 				addr:   s.addr,
 				data:   s.data,
 				header: p.IsHeader(),
-				doneAt: m.cycle + m.lat,
-			})
+				doneAt: m.cycle + m.accessLatency(ci, s.addr, &cls),
+			}
+			if m.hier {
+				m.insertInflight(st)
+			} else {
+				m.inflight = append(m.inflight, st)
+			}
 			if p == HeaderStore {
 				// The queued store becomes an accepted, uncommitted one.
 				m.hdrCnt[s.addr] += hdrCntInflightOne - hdrCntQueuedOne
@@ -750,6 +1130,70 @@ func (m *Memory) acceptCore(ci int, budget *int) bool {
 		accepted = true
 	}
 	return accepted
+}
+
+// accessLatency returns the DRAM latency of core ci's access to addr and
+// records its completion class, counting the NUMA local/remote split.
+func (m *Memory) accessLatency(ci int, addr object.Addr, cls *uint8) int64 {
+	if m.domains <= 0 {
+		*cls = classDRAM
+		return m.lat
+	}
+	if m.remote(ci, addr) {
+		m.stats.RemoteAccesses++
+		*cls = classRemote
+		return m.lat + m.penalty
+	}
+	m.stats.LocalAccesses++
+	*cls = classDRAM
+	return m.lat
+}
+
+// domainReady reports whether the domain serving core ci's access to addr
+// has per-cycle acceptance budget left, consuming one unit when claim is
+// set.
+func (m *Memory) domainReady(ci int, addr object.Addr, claim bool) bool {
+	if m.domBudget == nil {
+		return true
+	}
+	d := m.effDomain(ci, addr)
+	if d >= len(m.domBudget) {
+		// Out-of-range affinity override: treat as uncapped.
+		return true
+	}
+	if m.domBudget[d] <= 0 {
+		if !claim {
+			m.stats.DomainConflicts++
+		}
+		return false
+	}
+	if claim {
+		m.domBudget[d]--
+	}
+	return true
+}
+
+// insertInflight places an accepted store into the inflight list keeping it
+// ordered by completion cycle (commitDue strips a due prefix). Insertion is
+// stable — equal completion cycles commit in acceptance order — and a later
+// same-address header store is clamped to commit no earlier than an
+// in-flight one, preserving the comparator array's issue-order guarantee
+// when domain penalties give the two stores different latencies.
+func (m *Memory) insertInflight(st inflightStore) {
+	if st.header && m.hdrCnt[st.addr]>>16 > 0 {
+		for i := m.inflightHead; i < len(m.inflight); i++ {
+			if f := &m.inflight[i]; f.header && f.addr == st.addr && f.doneAt > st.doneAt {
+				st.doneAt = f.doneAt
+			}
+		}
+	}
+	i := len(m.inflight)
+	m.inflight = append(m.inflight, st)
+	for i > m.inflightHead && m.inflight[i-1].doneAt > st.doneAt {
+		m.inflight[i] = m.inflight[i-1]
+		i--
+	}
+	m.inflight[i] = st
 }
 
 // clearWaiting clears core ci's waiting bit for port p, dropping the core

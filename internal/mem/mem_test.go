@@ -2,6 +2,7 @@ package mem
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"hwgc/internal/object"
@@ -331,5 +332,248 @@ func TestBankModelOffByDefault(t *testing.T) {
 	}
 	if m.Stats().Accepted[BodyLoad] != 2 {
 		t.Fatal("both loads should be accepted without banks")
+	}
+}
+
+// waitReady ticks until the load completes, returning the tick count.
+func waitReady(t *testing.T, m *Memory, core int, port Port) int {
+	t.Helper()
+	ticks := 0
+	for !m.LoadReady(core, port) {
+		m.Tick()
+		if ticks++; ticks > 64 {
+			t.Fatal("load never completed")
+		}
+	}
+	return ticks
+}
+
+func TestNUMARemotePenalty(t *testing.T) {
+	// Two domains interleaved at 8 words: [0,8) is domain 0, [8,16) domain 1.
+	cfg := Config{Latency: 3, Bandwidth: 8, Domains: 2, RemotePenalty: 5, DomainInterleave: 8}
+	m := newMem(64, cfg, 2)
+
+	// Core 0 is affine to domain 0: a domain-0 address is local.
+	m.IssueLoad(0, BodyLoad, 4)
+	if got := waitReady(t, m, 0, BodyLoad); got != 4 { // 1 acceptance + 3 latency
+		t.Errorf("local load took %d ticks, want 4", got)
+	}
+	m.TakeLoad(0, BodyLoad)
+
+	// A domain-1 address pays the remote penalty.
+	m.IssueLoad(0, BodyLoad, 12)
+	if got := waitReady(t, m, 0, BodyLoad); got != 9 { // 1 + 3 + 5
+		t.Errorf("remote load took %d ticks, want 9", got)
+	}
+	m.TakeLoad(0, BodyLoad)
+
+	// Core 1 is affine to domain 1: the same address is local for it.
+	m.IssueLoad(1, BodyLoad, 12)
+	if got := waitReady(t, m, 1, BodyLoad); got != 4 {
+		t.Errorf("core-1 local load took %d ticks, want 4", got)
+	}
+	m.TakeLoad(1, BodyLoad)
+
+	st := m.Stats()
+	if st.LocalAccesses != 2 || st.RemoteAccesses != 1 {
+		t.Fatalf("local/remote = %d/%d, want 2/1", st.LocalAccesses, st.RemoteAccesses)
+	}
+}
+
+func TestNUMAAffinityOverride(t *testing.T) {
+	cfg := Config{Latency: 2, Domains: 2, RemotePenalty: 10, DomainInterleave: 8,
+		Affinity: []int{1, 0}}
+	m := newMem(64, cfg, 2)
+	// Core 0 is rebound to domain 1, so a domain-1 address is local.
+	m.IssueLoad(0, BodyLoad, 8)
+	if got := waitReady(t, m, 0, BodyLoad); got != 3 {
+		t.Errorf("rebound core's load took %d ticks, want 3", got)
+	}
+	if st := m.Stats(); st.LocalAccesses != 1 || st.RemoteAccesses != 0 {
+		t.Fatalf("local/remote = %d/%d, want 1/0", st.LocalAccesses, st.RemoteAccesses)
+	}
+}
+
+func TestNUMALocalWindow(t *testing.T) {
+	cfg := Config{Latency: 2, Domains: 4, RemotePenalty: 10, DomainInterleave: 4}
+	m := newMem(64, cfg, 1)
+	// Address 20 is in domain (20/4)%4 = 1: remote for core 0.
+	m.IssueLoad(0, BodyLoad, 20)
+	if got := waitReady(t, m, 0, BodyLoad); got != 13 {
+		t.Errorf("remote load took %d ticks, want 13", got)
+	}
+	m.TakeLoad(0, BodyLoad)
+	// Marking [16, 32) as the locality-aware window makes it local to every
+	// core regardless of the interleaving.
+	m.SetLocalWindow(16, 32)
+	m.IssueLoad(0, BodyLoad, 20)
+	if got := waitReady(t, m, 0, BodyLoad); got != 3 {
+		t.Errorf("windowed load took %d ticks, want 3", got)
+	}
+	if st := m.Stats(); st.LocalAccesses != 1 || st.RemoteAccesses != 1 {
+		t.Fatalf("local/remote = %d/%d, want 1/1", st.LocalAccesses, st.RemoteAccesses)
+	}
+}
+
+func TestNUMADomainBandwidth(t *testing.T) {
+	// Global bandwidth 8, but each domain accepts one request per cycle.
+	cfg := Config{Latency: 1, Bandwidth: 8, Domains: 2, RemotePenalty: 1,
+		DomainInterleave: 8, DomainBandwidth: 1}
+	m := newMem(64, cfg, 4)
+	// Three loads into domain 0, one into domain 1.
+	m.IssueLoad(0, BodyLoad, 0)
+	m.IssueLoad(1, BodyLoad, 4)
+	m.IssueLoad(2, BodyLoad, 6)
+	m.IssueLoad(3, BodyLoad, 8)
+	m.Tick()
+	st := m.Stats()
+	if st.Accepted[BodyLoad] != 2 { // one per domain
+		t.Fatalf("accepted %d with per-domain budget 1, want 2", st.Accepted[BodyLoad])
+	}
+	if st.DomainConflicts == 0 {
+		t.Fatal("domain conflict not recorded")
+	}
+	m.Tick()
+	m.Tick()
+	if st := m.Stats(); st.Accepted[BodyLoad] != 4 {
+		t.Fatalf("deferred loads never accepted: %+v", st)
+	}
+}
+
+func TestCacheHitPath(t *testing.T) {
+	cfg := Config{Latency: 6, Bandwidth: 8, L1Sets: 4, L1Ways: 2, L2Sets: 16,
+		L2Ways: 4, MSHRs: 4, LineWords: 4}
+	m := newMem(256, cfg, 2)
+	m.Write(17, 42)
+
+	// Cold: a miss pays the full DRAM latency and fills both levels.
+	m.IssueLoad(0, BodyLoad, 17)
+	if got := waitReady(t, m, 0, BodyLoad); got != 7 { // 1 + 6
+		t.Errorf("cold miss took %d ticks, want 7", got)
+	}
+	if got := m.TakeLoad(0, BodyLoad); got != 42 {
+		t.Errorf("miss returned %d, want 42", got)
+	}
+
+	// Warm, same line (addresses 16..19 share line 4): L1 hit, one cycle,
+	// no controller acceptance.
+	accepted := m.Stats().Accepted[BodyLoad]
+	m.IssueLoad(0, BodyLoad, 19)
+	if got := waitReady(t, m, 0, BodyLoad); got != HitLatencyL1 {
+		t.Errorf("L1 hit took %d ticks, want %d", got, HitLatencyL1)
+	}
+	m.TakeLoad(0, BodyLoad)
+	if got := m.Stats().Accepted[BodyLoad]; got != accepted {
+		t.Error("an L1 hit consumed controller bandwidth")
+	}
+
+	// The other core's private L1 is cold, but the shared L2 hits (and
+	// fills that core's L1).
+	m.IssueLoad(1, BodyLoad, 17)
+	if got := waitReady(t, m, 1, BodyLoad); got != HitLatencyL2 {
+		t.Errorf("L2 hit took %d ticks, want %d", got, HitLatencyL2)
+	}
+	m.TakeLoad(1, BodyLoad)
+	m.IssueLoad(1, BodyLoad, 16)
+	if got := waitReady(t, m, 1, BodyLoad); got != HitLatencyL1 {
+		t.Errorf("post-fill L1 hit took %d ticks, want %d", got, HitLatencyL1)
+	}
+	m.TakeLoad(1, BodyLoad)
+
+	st := m.Stats()
+	if st.L1Hits != 2 || st.L2Hits != 1 || st.L1Misses != 2 || st.L2Misses != 1 {
+		t.Fatalf("hit/miss counters = %+v", st)
+	}
+}
+
+func TestCacheMSHRExhaustionStalls(t *testing.T) {
+	cfg := Config{Latency: 8, L1Sets: 4, MSHRs: 1}
+	m := newMem(256, cfg, 2)
+	if !m.IssueLoad(0, BodyLoad, 0) {
+		t.Fatal("first miss refused")
+	}
+	if m.IssueLoad(1, BodyLoad, 64) {
+		t.Fatal("second miss accepted with a single MSHR")
+	}
+	if m.Stats().MSHRFullStalls == 0 {
+		t.Fatal("MSHR-full stall not recorded")
+	}
+	waitReady(t, m, 0, BodyLoad)
+	m.TakeLoad(0, BodyLoad)
+	// Completion freed the MSHR.
+	if !m.IssueLoad(1, BodyLoad, 64) {
+		t.Fatal("MSHR not freed by completion")
+	}
+}
+
+func TestCachePendingStoreBypassesTags(t *testing.T) {
+	cfg := Config{Latency: 5, L1Sets: 4, MSHRs: 4, LineWords: 4}
+	m := newMem(256, cfg, 2)
+	m.Write(8, 1)
+	// Warm the line so a naive lookup would hit.
+	m.IssueLoad(0, BodyLoad, 8)
+	waitReady(t, m, 0, BodyLoad)
+	m.TakeLoad(0, BodyLoad)
+	// With a store to the same address still pending, the load must go to
+	// memory (the tag array holds no data), not report a stale hit.
+	m.IssueStore(0, HeaderStore, 8, 2)
+	m.IssueLoad(1, HeaderLoad, 8)
+	waitReady(t, m, 1, HeaderLoad)
+	if got := m.TakeLoad(1, HeaderLoad); got != 2 {
+		t.Fatalf("load under a pending same-address store returned %d, want 2", got)
+	}
+}
+
+func TestHierarchyStateRoundTrip(t *testing.T) {
+	cfg := Config{Latency: 4, Bandwidth: 2, Domains: 2, RemotePenalty: 6,
+		DomainInterleave: 8, DomainBandwidth: 1, L1Sets: 4, L1Ways: 2,
+		MSHRs: 2, LineWords: 4}
+	m := newMem(256, cfg, 4)
+	// Put the scheduler mid-flight: warm lines, pending loads and stores.
+	m.IssueLoad(0, BodyLoad, 3)
+	m.IssueLoad(1, BodyLoad, 40)
+	m.IssueStore(2, HeaderStore, 9, 7)
+	m.IssueStore(2, BodyStore, 60, 8)
+	m.Tick()
+	m.Tick()
+	m.IssueLoad(3, HeaderLoad, 9)
+	m.Tick()
+
+	st := m.CaptureState()
+	m2 := New(make([]object.Word, 256), cfg)
+	m2.AttachCores(4)
+	if err := m2.RestoreState(st); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if st2 := m2.CaptureState(); !reflect.DeepEqual(st, st2) {
+		t.Fatalf("state changed across restore:\n%+v\n%+v", st, st2)
+	}
+	// The restored scheduler must evolve identically.
+	for i := 0; i < 32; i++ {
+		m.Tick()
+		m2.Tick()
+	}
+	if !reflect.DeepEqual(m.CaptureState(), m2.CaptureState()) {
+		t.Fatal("restored scheduler diverged from the original")
+	}
+}
+
+func TestHierarchyStateRejectsMismatch(t *testing.T) {
+	flat := newMem(64, Config{}, 1)
+	hier := newMem(64, Config{Domains: 2, L1Sets: 4}, 1)
+	st := hier.CaptureState()
+	st.L1Comp = []int64{1 << 16}
+	if err := flat.RestoreState(st); err == nil {
+		t.Fatal("flat scheduler accepted hierarchy completions")
+	}
+	st2 := flat.CaptureState()
+	st2.L1 = [][]CacheLineState{{{Valid: true, Tag: 1}}}
+	if err := flat.RestoreState(st2); err == nil {
+		t.Fatal("flat scheduler accepted cache tags")
+	}
+	st3 := hier.CaptureState()
+	st3.Cores[0].HeaderLoad = LoadBuffer{Valid: true, Accepted: true, Class: 9}
+	if err := hier.RestoreState(st3); err == nil {
+		t.Fatal("out-of-range completion class accepted")
 	}
 }

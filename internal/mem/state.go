@@ -15,10 +15,13 @@ import (
 // inconsistent scheduler.
 
 // LoadBuffer is the serializable form of one single-entry load buffer.
+// Class is the completion class of an accepted load (0 when the memory
+// hierarchy is disabled, where classDRAM is the only class).
 type LoadBuffer struct {
 	Valid    bool
 	Accepted bool
 	Ready    bool
+	Class    uint8
 	Addr     object.Addr
 	Data     object.Word
 	DoneAt   int64
@@ -48,10 +51,21 @@ type CoreIOState struct {
 	BodyStores   []StoreReq
 }
 
+// CacheLineState is one tag-only line of the L1/L2 model.
+type CacheLineState struct {
+	Valid bool
+	Tag   int64
+	Last  int64
+}
+
 // State is the complete serializable state of the memory scheduler
-// mid-collection. Completions holds the load-completion queue front to
-// back; each entry encodes doneAt<<16 | core<<1 | portIdx exactly as the
-// live queue does.
+// mid-collection. Completions holds the classDRAM load-completion queue
+// front to back; each entry encodes doneAt<<16 | core<<1 | portIdx exactly
+// as the live queue does. RemoteComp, L1Comp and L2Comp are the completion
+// queues of the other latency classes (NUMA-remote, L1 hit, L2 hit), empty
+// unless the memory hierarchy is enabled. The MSHR occupancy is derived
+// state — every valid, not-ready load of a DRAM class holds one — and is
+// recomputed on restore.
 type State struct {
 	Cycle       int64
 	RR          int
@@ -61,6 +75,13 @@ type State struct {
 	Cores       []CoreIOState
 	Inflight    []InflightStore
 	Completions []int64
+
+	RemoteComp []int64
+	L1Comp     []int64
+	L2Comp     []int64
+	LRUTick    int64
+	L1         [][]CacheLineState
+	L2         []CacheLineState
 }
 
 // at returns the i-th queued entry in FIFO order.
@@ -77,10 +98,27 @@ func captureBuffer(b *buffer) LoadBuffer {
 		Valid:    b.valid,
 		Accepted: b.accepted,
 		Ready:    b.ready,
+		Class:    b.class,
 		Addr:     b.addr,
 		Data:     b.data,
 		DoneAt:   b.doneAt,
 	}
+}
+
+func captureLines(lines []cacheLine) []CacheLineState {
+	out := make([]CacheLineState, len(lines))
+	for i, l := range lines {
+		out[i] = CacheLineState{Valid: l.valid, Tag: l.tag, Last: l.last}
+	}
+	return out
+}
+
+func captureRing(r *intRing) []int64 {
+	var out []int64
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.at(i))
+	}
+	return out
 }
 
 func captureQueue(q *storeRing) []StoreReq {
@@ -119,8 +157,19 @@ func (m *Memory) CaptureState() *State {
 			Addr: s.addr, Data: s.data, Header: s.header, DoneAt: s.doneAt,
 		})
 	}
-	for i := 0; i < m.completions.n; i++ {
-		st.Completions = append(st.Completions, m.completions.at(i))
+	st.Completions = captureRing(&m.completions)
+	if m.hier {
+		st.RemoteComp = captureRing(&m.extraComp[classRemote-1])
+		st.L1Comp = captureRing(&m.extraComp[classL1-1])
+		st.L2Comp = captureRing(&m.extraComp[classL2-1])
+	}
+	if m.l1Sets > 0 {
+		st.LRUTick = m.lruTick
+		st.L1 = make([][]CacheLineState, len(m.l1))
+		for i := range m.l1 {
+			st.L1[i] = captureLines(m.l1[i])
+		}
+		st.L2 = captureLines(m.l2)
 	}
 	return st
 }
@@ -173,14 +222,76 @@ func (m *Memory) RestoreState(st *State) error {
 		}
 		lastDone = s.DoneAt
 	}
-	if len(st.Completions) > len(m.completions.buf) {
-		return fmt.Errorf("mem: state has %d load completions, capacity is %d",
-			len(st.Completions), len(m.completions.buf))
-	}
-	for _, e := range st.Completions {
-		if ci := int(e >> 1 & 0x7fff); ci >= n {
-			return fmt.Errorf("mem: state load completion for core %d, have %d", ci, n)
+	checkComp := func(what string, comp []int64, ring *intRing) error {
+		if ring == nil {
+			if len(comp) > 0 {
+				return fmt.Errorf("mem: state has %s load completions but the model is disabled", what)
+			}
+			return nil
 		}
+		if len(comp) > len(ring.buf) {
+			return fmt.Errorf("mem: state has %d %s load completions, capacity is %d",
+				len(comp), what, len(ring.buf))
+		}
+		var last int64
+		for _, e := range comp {
+			if ci := int(e >> 1 & 0x7fff); ci >= n {
+				return fmt.Errorf("mem: state %s load completion for core %d, have %d", what, ci, n)
+			}
+			if e>>16 < last {
+				return fmt.Errorf("mem: state %s load completions not ordered by completion cycle", what)
+			}
+			last = e >> 16
+		}
+		return nil
+	}
+	ringOrNil := func(cls uint8, on bool) *intRing {
+		if !on {
+			return nil
+		}
+		return m.ring(cls)
+	}
+	if err := checkComp("dram", st.Completions, &m.completions); err != nil {
+		return err
+	}
+	if err := checkComp("remote", st.RemoteComp, ringOrNil(classRemote, m.domains > 0)); err != nil {
+		return err
+	}
+	if err := checkComp("l1-hit", st.L1Comp, ringOrNil(classL1, m.l1Sets > 0)); err != nil {
+		return err
+	}
+	if err := checkComp("l2-hit", st.L2Comp, ringOrNil(classL2, m.l1Sets > 0)); err != nil {
+		return err
+	}
+	for i, c := range st.Cores {
+		for _, b := range []LoadBuffer{c.HeaderLoad, c.BodyLoad} {
+			if !b.Valid {
+				continue
+			}
+			switch {
+			case b.Class >= numClasses:
+				return fmt.Errorf("mem: state core %d load has completion class %d", i, b.Class)
+			case b.Class == classRemote && m.domains <= 0,
+				(b.Class == classL1 || b.Class == classL2) && m.l1Sets <= 0:
+				return fmt.Errorf("mem: state core %d load class %d but the model is disabled", i, b.Class)
+			}
+		}
+	}
+	if m.l1Sets > 0 {
+		if len(st.L1) != n {
+			return fmt.Errorf("mem: state has %d L1 caches, scheduler has %d cores", len(st.L1), n)
+		}
+		for i := range st.L1 {
+			if len(st.L1[i]) != m.l1Sets*m.l1Ways {
+				return fmt.Errorf("mem: state core %d L1 has %d lines, want %d",
+					i, len(st.L1[i]), m.l1Sets*m.l1Ways)
+			}
+		}
+		if len(st.L2) != m.l2Sets*m.l2Ways {
+			return fmt.Errorf("mem: state L2 has %d lines, want %d", len(st.L2), m.l2Sets*m.l2Ways)
+		}
+	} else if len(st.L1) > 0 || len(st.L2) > 0 {
+		return fmt.Errorf("mem: state carries cache tags but the cache model is disabled")
 	}
 
 	m.cycle = st.Cycle
@@ -200,6 +311,7 @@ func (m *Memory) RestoreState(st *State) error {
 			valid:    s.Valid,
 			accepted: s.Accepted,
 			ready:    s.Ready,
+			class:    s.Class,
 			addr:     s.Addr,
 			data:     s.Data,
 			doneAt:   s.DoneAt,
@@ -210,6 +322,9 @@ func (m *Memory) RestoreState(st *State) error {
 				m.unaccepted++
 			} else if !s.Ready {
 				m.acceptedLoads++
+			}
+			if m.l1Sets > 0 && !s.Ready && s.Class < classL1 {
+				m.mshrInUse++
 			}
 		}
 	}
@@ -222,10 +337,14 @@ func (m *Memory) RestoreState(st *State) error {
 			if header {
 				m.hdrCnt[s.Addr] += hdrCntQueuedOne
 			}
+			if m.stCnt != nil {
+				m.stCnt[s.Addr]++
+			}
 		}
 	}
 
 	m.unaccepted, m.storeQueued, m.validLoads, m.acceptedLoads = 0, 0, 0, 0
+	m.mshrInUse = 0
 	clear(m.waiting)
 	clear(m.waitMask)
 	for i, c := range st.Cores {
@@ -258,14 +377,40 @@ func (m *Memory) RestoreState(st *State) error {
 		if s.Header {
 			m.hdrCnt[s.Addr] += hdrCntInflightOne
 		}
+		if m.stCnt != nil {
+			m.stCnt[s.Addr]++
+		}
 	}
-	m.completions.head, m.completions.n = 0, 0
-	for _, e := range st.Completions {
-		m.completions.push(e)
+	restoreRing := func(r *intRing, comp []int64) {
+		r.head, r.n = 0, 0
+		for _, e := range comp {
+			r.push(e)
+		}
 	}
-	if m.completions.n != m.acceptedLoads {
+	restoreRing(&m.completions, st.Completions)
+	total := m.completions.n
+	if m.hier {
+		restoreRing(&m.extraComp[classRemote-1], st.RemoteComp)
+		restoreRing(&m.extraComp[classL1-1], st.L1Comp)
+		restoreRing(&m.extraComp[classL2-1], st.L2Comp)
+		for i := range m.extraComp {
+			total += m.extraComp[i].n
+		}
+	}
+	if total != m.acceptedLoads {
 		return fmt.Errorf("mem: state has %d load completions for %d accepted loads",
-			m.completions.n, m.acceptedLoads)
+			total, m.acceptedLoads)
+	}
+	if m.l1Sets > 0 {
+		m.lruTick = st.LRUTick
+		for i := range m.l1 {
+			for j, l := range st.L1[i] {
+				m.l1[i][j] = cacheLine{valid: l.Valid, tag: l.Tag, last: l.Last}
+			}
+		}
+		for j, l := range st.L2 {
+			m.l2[j] = cacheLine{valid: l.Valid, tag: l.Tag, last: l.Last}
+		}
 	}
 	return nil
 }

@@ -44,10 +44,21 @@ type Metrics struct {
 	barrierCycles      atomic.Int64
 	floatingWords      atomic.Int64
 
+	// Memory-hierarchy counters, aggregated from every collect response
+	// whose config enabled the NUMA or cache model.
+	numaLocal     atomic.Int64
+	numaRemote    atomic.Int64
+	numaConflicts atomic.Int64
+	cacheL1Hits   atomic.Int64
+	cacheL2Hits   atomic.Int64
+	cacheMissesGC atomic.Int64 // L2 misses (requests that went to DRAM)
+	cacheMSHRFull atomic.Int64
+
 	mu       sync.Mutex
 	requests map[string]int64 // by path
 	statuses map[int]int64    // by HTTP status code
 	concRuns map[string]int64 // concurrent collections, by barrier mode
+	numaRuns map[string]int64 // NUMA collections, by tospace placement
 	lat      stats.Hist
 }
 
@@ -58,30 +69,49 @@ func NewMetrics() *Metrics {
 		requests: make(map[string]int64),
 		statuses: make(map[int]int64),
 		concRuns: make(map[string]int64),
+		numaRuns: make(map[string]int64),
 	}
 }
 
-// ObserveCollect aggregates the concurrent-collection counters of one
-// completed collect response. Stop-the-world responses (no mutator side)
-// are a no-op, as is a nil receiver (tests that stub the runner).
+// ObserveCollect aggregates the concurrent-collection and memory-hierarchy
+// counters of one completed collect response. Responses whose config ran
+// neither the mutator nor a hierarchy model are a no-op, as is a nil
+// receiver (tests that stub the runner).
 func (m *Metrics) ObserveCollect(resp *hwgc.CollectResponse) {
 	if m == nil || resp == nil {
 		return
 	}
-	ms := resp.Result.Stats.Mutator
-	if ms == nil {
-		return
+	st := &resp.Result.Stats
+	if ms := st.Mutator; ms != nil {
+		mode := "none"
+		if bm := st.Config.BarrierMode; bm != hwgc.BarrierNone {
+			mode = string(bm)
+		}
+		m.mu.Lock()
+		m.concRuns[mode]++
+		m.mu.Unlock()
+		m.barrierInvocations.Add(ms.BarrierInvocations)
+		m.barrierCycles.Add(ms.BarrierCycles)
+		m.floatingWords.Add(ms.FloatingWords)
 	}
-	mode := "none"
-	if bm := resp.Result.Stats.Config.BarrierMode; bm != hwgc.BarrierNone {
-		mode = string(bm)
+	if st.Config.NUMADomains > 0 {
+		placement := "naive"
+		if st.Config.NUMAPlacement == hwgc.PlacementLocal {
+			placement = "local"
+		}
+		m.mu.Lock()
+		m.numaRuns[placement]++
+		m.mu.Unlock()
+		m.numaLocal.Add(st.Mem.LocalAccesses)
+		m.numaRemote.Add(st.Mem.RemoteAccesses)
+		m.numaConflicts.Add(st.Mem.DomainConflicts)
 	}
-	m.mu.Lock()
-	m.concRuns[mode]++
-	m.mu.Unlock()
-	m.barrierInvocations.Add(ms.BarrierInvocations)
-	m.barrierCycles.Add(ms.BarrierCycles)
-	m.floatingWords.Add(ms.FloatingWords)
+	if st.Config.L1Sets > 0 {
+		m.cacheL1Hits.Add(st.Mem.L1Hits)
+		m.cacheL2Hits.Add(st.Mem.L2Hits)
+		m.cacheMissesGC.Add(st.Mem.L2Misses)
+		m.cacheMSHRFull.Add(st.Mem.MSHRFullStalls)
+	}
 }
 
 // Request records one HTTP request against path with the final status code.
@@ -144,6 +174,15 @@ func (m *Metrics) WritePrometheus(w io.Writer, q queueState, c cacheState) error
 	concLines := make([]string, 0, len(modes))
 	for _, mode := range modes {
 		concLines = append(concLines, fmt.Sprintf("gcserved_concurrent_collections_total{barrier=%q} %d", mode, m.concRuns[mode]))
+	}
+	placements := make([]string, 0, len(m.numaRuns))
+	for p := range m.numaRuns {
+		placements = append(placements, p)
+	}
+	sort.Strings(placements)
+	numaLines := make([]string, 0, len(placements))
+	for _, p := range placements {
+		numaLines = append(numaLines, fmt.Sprintf("gcserved_numa_collections_total{placement=%q} %d", p, m.numaRuns[p]))
 	}
 	lat := m.lat
 	m.mu.Unlock()
@@ -231,6 +270,32 @@ func (m *Metrics) WritePrometheus(w io.Writer, q queueState, c cacheState) error
 	add("# HELP gcserved_floating_garbage_words_total Words of floating garbage retained by barrier shading across all served concurrent collections.")
 	add("# TYPE gcserved_floating_garbage_words_total counter")
 	add("gcserved_floating_garbage_words_total %d", m.floatingWords.Load())
+	add("# HELP gcserved_numa_collections_total Collect responses produced with the NUMA model enabled, by tospace placement.")
+	add("# TYPE gcserved_numa_collections_total counter")
+	for _, l := range numaLines {
+		add("%s", l)
+	}
+	add("# HELP gcserved_numa_local_accesses_total DRAM acceptances served by the requesting core's own domain across all served NUMA collections.")
+	add("# TYPE gcserved_numa_local_accesses_total counter")
+	add("gcserved_numa_local_accesses_total %d", m.numaLocal.Load())
+	add("# HELP gcserved_numa_remote_accesses_total DRAM acceptances that crossed a domain boundary across all served NUMA collections.")
+	add("# TYPE gcserved_numa_remote_accesses_total counter")
+	add("gcserved_numa_remote_accesses_total %d", m.numaRemote.Load())
+	add("# HELP gcserved_numa_domain_conflicts_total Acceptances deferred by an exhausted per-domain budget across all served NUMA collections.")
+	add("# TYPE gcserved_numa_domain_conflicts_total counter")
+	add("gcserved_numa_domain_conflicts_total %d", m.numaConflicts.Load())
+	add("# HELP gcserved_gc_cache_l1_hits_total GC-side L1 hits across all served collections with the cache model enabled.")
+	add("# TYPE gcserved_gc_cache_l1_hits_total counter")
+	add("gcserved_gc_cache_l1_hits_total %d", m.cacheL1Hits.Load())
+	add("# HELP gcserved_gc_cache_l2_hits_total GC-side shared-L2 hits across all served collections with the cache model enabled.")
+	add("# TYPE gcserved_gc_cache_l2_hits_total counter")
+	add("gcserved_gc_cache_l2_hits_total %d", m.cacheL2Hits.Load())
+	add("# HELP gcserved_gc_cache_misses_total GC-side loads that missed both levels and went to DRAM across all served collections with the cache model enabled.")
+	add("# TYPE gcserved_gc_cache_misses_total counter")
+	add("gcserved_gc_cache_misses_total %d", m.cacheMissesGC.Load())
+	add("# HELP gcserved_gc_cache_mshr_full_stalls_total Load issues rejected because every MSHR was busy across all served collections with the cache model enabled.")
+	add("# TYPE gcserved_gc_cache_mshr_full_stalls_total counter")
+	add("gcserved_gc_cache_mshr_full_stalls_total %d", m.cacheMSHRFull.Load())
 	add("# HELP gcserved_request_seconds Service latency of job endpoints (upper-bound quantile estimates).")
 	add("# TYPE gcserved_request_seconds summary")
 	add("gcserved_request_seconds{quantile=\"0.5\"} %g", lat.Quantile(0.50))

@@ -219,6 +219,54 @@ func TestSweepsBarrierModeAxis(t *testing.T) {
 	}
 }
 
+// TestSweepsMemoryHierarchyAxes is the same cross-server contract for the
+// memory-hierarchy extension: a sweep crossing the NUMAPlacement enum axis
+// with NUMADomains and the L1Sets cache gate runs end to end through
+// gcserved, and two independent servers produce the identical ranked
+// frontier. The NUMADomains axis includes 0, so the flat machine competes
+// in the same frontier as the NUMA points; the zero point's key must
+// canonicalize identically on both servers for the dedup to line up.
+func TestSweepsMemoryHierarchyAxes(t *testing.T) {
+	body := `{"Space":{"Benches":["jlisp"],"Seeds":[42],` +
+		`"Base":{"Cores":4},` +
+		`"Axes":[{"Field":"NUMAPlacement","Strings":["naive","local"]},` +
+		`{"Field":"NUMADomains","Values":[0,2]},` +
+		`{"Field":"L1Sets","Values":[0,16]}]}}`
+
+	run := func() sweep.Info {
+		_, ts := newTestServer(t, jobsOpts(t))
+		resp, info := postSweep(t, ts, body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+		}
+		// 2 placements x 2 domain counts x 2 cache gates = 8 raw points,
+		// but placement is a dead knob at NUMADomains=0: both spellings
+		// canonicalize to the flat machine, deduping 8 down to 6.
+		if info.Points != 6 {
+			t.Fatalf("planned %d points, want 6 (dead placement knob dedups the flat half)", info.Points)
+		}
+		done := awaitSweep(t, ts, info.ID)
+		if done.State != sweep.StateDone || done.Completed != 6 || done.Failed != 0 {
+			t.Fatalf("final info = %+v", done)
+		}
+		if len(done.Frontier) == 0 {
+			t.Fatal("no frontier")
+		}
+		return done
+	}
+
+	a, b := run(), run()
+	if len(a.Frontier) != len(b.Frontier) {
+		t.Fatalf("frontier sizes differ: %d vs %d", len(a.Frontier), len(b.Frontier))
+	}
+	for i := range a.Frontier {
+		fa, fb := a.Frontier[i], b.Frontier[i]
+		if fa.Key != fb.Key || fa.Rank != fb.Rank || fa.Value != fb.Value || fa.Cycles != fb.Cycles {
+			t.Errorf("frontier[%d] differs across servers: %+v vs %+v", i, fa, fb)
+		}
+	}
+}
+
 func TestSweepsEndpointValidation(t *testing.T) {
 	_, ts := newTestServer(t, jobsOpts(t))
 	for name, tc := range map[string]struct {

@@ -32,11 +32,14 @@ import (
 
 // Format identification. Version 2 appended the concurrent-mutator fields
 // (barrier mode and churn-mutator knobs in the config section, the mutator
-// port's state in the machine section); version-1 snapshots decode
+// port's state in the machine section). Version 3 appended the memory
+// hierarchy (NUMA and cache knobs in the config section; locality/cache
+// counters, per-load completion classes, the extra completion queues and the
+// cache tag arrays in the mem section). Version-1 and -2 snapshots decode
 // unchanged. Encode always writes the current version.
 const (
 	magic      = "HWGCSNP1"
-	version    = 2
+	version    = 3
 	minVersion = 1
 )
 

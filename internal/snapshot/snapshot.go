@@ -81,7 +81,7 @@ func Decode(data []byte) (*machine.State, error) {
 	if sec, err = readSection(r, tagMem); err != nil {
 		return nil, err
 	}
-	if st.Mem, err = decodeMem(sec); err != nil {
+	if st.Mem, err = decodeMem(sec, v); err != nil {
 		return nil, err
 	}
 	if sec, err = readSection(r, tagMachine); err != nil {
@@ -145,6 +145,36 @@ func encodeConfig(w *writer, c machine.Config) {
 	w.i64(c.MutatorAllocs)
 	w.i64(c.MutatorSeed)
 	w.i64(int64(c.MutatorPeriod))
+	// Version 3: memory-hierarchy knobs.
+	w.i64(int64(c.NUMADomains))
+	w.i64(int64(c.NUMARemotePenalty))
+	w.i64(int64(c.NUMAInterleave))
+	w.i64(int64(c.NUMABandwidth))
+	w.u8(encodePlacement(c.NUMAPlacement))
+	w.i64(int64(c.L1Sets))
+	w.i64(int64(c.L1Ways))
+	w.i64(int64(c.L2Sets))
+	w.i64(int64(c.L2Ways))
+	w.i64(int64(c.MSHRs))
+	w.i64(int64(c.CacheLineWords))
+}
+
+// encodePlacement maps the NUMA-placement enum to a stable wire byte.
+func encodePlacement(p machine.NUMAPlacement) uint8 {
+	if p == machine.PlacementLocal {
+		return 1
+	}
+	return 0
+}
+
+func decodePlacement(v uint8) (machine.NUMAPlacement, error) {
+	switch v {
+	case 0:
+		return machine.PlacementNaive, nil
+	case 1:
+		return machine.PlacementLocal, nil
+	}
+	return machine.PlacementNaive, fmt.Errorf("snapshot: unknown NUMA placement byte %d", v)
 }
 
 // encodeBarrierMode maps the barrier-mode enum to a stable wire byte.
@@ -199,6 +229,23 @@ func decodeConfig(r *reader, v uint32) (machine.Config, error) {
 		c.MutatorAllocs = r.i64()
 		c.MutatorSeed = r.i64()
 		c.MutatorPeriod = r.intField()
+	}
+	if v >= 3 {
+		c.NUMADomains = r.intField()
+		c.NUMARemotePenalty = r.intField()
+		c.NUMAInterleave = r.intField()
+		c.NUMABandwidth = r.intField()
+		place, err := decodePlacement(r.u8())
+		if err != nil && r.err == nil {
+			return c, err
+		}
+		c.NUMAPlacement = place
+		c.L1Sets = r.intField()
+		c.L1Ways = r.intField()
+		c.L2Sets = r.intField()
+		c.L2Ways = r.intField()
+		c.MSHRs = r.intField()
+		c.CacheLineWords = r.intField()
 	}
 	return c, r.done()
 }
@@ -321,10 +368,12 @@ func encodeLoadBuffer(w *writer, b mem.LoadBuffer) {
 	w.u32(b.Addr)
 	w.u64(b.Data)
 	w.i64(b.DoneAt)
+	// Version 3: the completion class of an accepted load.
+	w.u8(b.Class)
 }
 
-func decodeLoadBuffer(r *reader) mem.LoadBuffer {
-	return mem.LoadBuffer{
+func decodeLoadBuffer(r *reader, v uint32) mem.LoadBuffer {
+	b := mem.LoadBuffer{
 		Valid:    r.bool(),
 		Accepted: r.bool(),
 		Ready:    r.bool(),
@@ -332,6 +381,10 @@ func decodeLoadBuffer(r *reader) mem.LoadBuffer {
 		Data:     r.u64(),
 		DoneAt:   r.i64(),
 	}
+	if v >= 3 {
+		b.Class = r.u8()
+	}
+	return b
 }
 
 func encodeStoreQueue(w *writer, q []mem.StoreReq) {
@@ -391,9 +444,52 @@ func encodeMem(w *writer, s *mem.State) {
 	for _, v := range s.Completions {
 		w.i64(v)
 	}
+	// Version 3: memory-hierarchy counters, completion queues and cache tags.
+	w.i64(s.Stats.LocalAccesses)
+	w.i64(s.Stats.RemoteAccesses)
+	w.i64(s.Stats.DomainConflicts)
+	w.i64(s.Stats.L1Hits)
+	w.i64(s.Stats.L1Misses)
+	w.i64(s.Stats.L2Hits)
+	w.i64(s.Stats.L2Misses)
+	w.i64(s.Stats.MSHRFullStalls)
+	for _, comp := range [][]int64{s.RemoteComp, s.L1Comp, s.L2Comp} {
+		w.count(len(comp))
+		for _, v := range comp {
+			w.i64(v)
+		}
+	}
+	w.i64(s.LRUTick)
+	w.count(len(s.L1))
+	for _, lines := range s.L1 {
+		encodeCacheLines(w, lines)
+	}
+	encodeCacheLines(w, s.L2)
 }
 
-func decodeMem(r *reader) (*mem.State, error) {
+func encodeCacheLines(w *writer, lines []mem.CacheLineState) {
+	w.count(len(lines))
+	for _, l := range lines {
+		w.bool(l.Valid)
+		w.i64(l.Tag)
+		w.i64(l.Last)
+	}
+}
+
+// decodeCacheLines reads one tag array; each line is 17 bytes.
+func decodeCacheLines(r *reader) []mem.CacheLineState {
+	n := r.count(17)
+	if n == 0 {
+		return nil
+	}
+	lines := make([]mem.CacheLineState, n)
+	for i := range lines {
+		lines[i] = mem.CacheLineState{Valid: r.bool(), Tag: r.i64(), Last: r.i64()}
+	}
+	return lines
+}
+
+func decodeMem(r *reader, v uint32) (*mem.State, error) {
 	s := &mem.State{
 		Cycle: r.i64(),
 		RR:    r.intField(),
@@ -420,8 +516,8 @@ func decodeMem(r *reader) (*mem.State, error) {
 		s.Cores = make([]mem.CoreIOState, n)
 		for i := range s.Cores {
 			s.Cores[i] = mem.CoreIOState{
-				HeaderLoad:   decodeLoadBuffer(r),
-				BodyLoad:     decodeLoadBuffer(r),
+				HeaderLoad:   decodeLoadBuffer(r, v),
+				BodyLoad:     decodeLoadBuffer(r, v),
 				HeaderStores: decodeStoreQueue(r),
 				BodyStores:   decodeStoreQueue(r),
 			}
@@ -440,6 +536,33 @@ func decodeMem(r *reader) (*mem.State, error) {
 		for i := range s.Completions {
 			s.Completions[i] = r.i64()
 		}
+	}
+	if v >= 3 {
+		s.Stats.LocalAccesses = r.i64()
+		s.Stats.RemoteAccesses = r.i64()
+		s.Stats.DomainConflicts = r.i64()
+		s.Stats.L1Hits = r.i64()
+		s.Stats.L1Misses = r.i64()
+		s.Stats.L2Hits = r.i64()
+		s.Stats.L2Misses = r.i64()
+		s.Stats.MSHRFullStalls = r.i64()
+		for _, comp := range []*[]int64{&s.RemoteComp, &s.L1Comp, &s.L2Comp} {
+			if n := r.count(8); n > 0 {
+				*comp = make([]int64, n)
+				for i := range *comp {
+					(*comp)[i] = r.i64()
+				}
+			}
+		}
+		s.LRUTick = r.i64()
+		// One L1 tag array per core; each holds at least a 4-byte count.
+		if n := r.count(4); n > 0 {
+			s.L1 = make([][]mem.CacheLineState, n)
+			for i := range s.L1 {
+				s.L1[i] = decodeCacheLines(r)
+			}
+		}
+		s.L2 = decodeCacheLines(r)
 	}
 	return s, r.done()
 }

@@ -277,6 +277,100 @@ func TestDecodeVersion1Fixture(t *testing.T) {
 	}
 }
 
+// TestDecodeVersion2Fixture pins on-disk back-compat for the second format
+// revision: the committed testdata snapshot was written by the version-2
+// encoder (concurrent mutator present, before the memory-hierarchy fields
+// existed) and must keep decoding, restoring and resuming to the
+// bit-identical result of an uninterrupted run.
+//
+// Fixture recipe (burned into the file, do not regenerate with the current
+// encoder): workload jlisp, Plan(1, 42).BuildHeap(2.0), machine.Config{
+// Cores: 4, MutatorOps: 1 << 40, BarrierMode: machine.BarrierSATB},
+// BeginCollect, StepCycles(500), Snapshot.
+func TestDecodeVersion2Fixture(t *testing.T) {
+	gz, err := os.ReadFile("testdata/v2-jlisp-satb-c4.snap.gz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(gz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(data[len(magic):]); v != 2 {
+		t.Fatalf("fixture declares version %d, want 2", v)
+	}
+
+	st, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decoding the v2 fixture: %v", err)
+	}
+	if st.Cycle != 500 {
+		t.Fatalf("fixture captured at cycle %d, want 500", st.Cycle)
+	}
+	if st.Mut == nil {
+		t.Fatal("v2 fixture carries no mutator state")
+	}
+
+	// The v2 state must survive a re-encode at the current version.
+	up, err := Decode(Encode(st))
+	if err != nil {
+		t.Fatalf("re-encoded fixture failed to decode: %v", err)
+	}
+	if !reflect.DeepEqual(st, up) {
+		t.Fatalf("fixture state changed across the version upgrade: %v", Diff(st, up))
+	}
+
+	// Restoring and resuming must reproduce the uninterrupted run exactly.
+	m, err := machine.RestoreMachine(st)
+	if err != nil {
+		t.Fatalf("restoring the v2 fixture: %v", err)
+	}
+	resumed, err := m.Resume()
+	if err != nil {
+		t.Fatalf("resuming the v2 fixture: %v", err)
+	}
+	spec, err := workload.Get("jlisp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := spec.Plan(1, 42).BuildHeap(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.Config{Cores: 4, MutatorOps: 1 << 40, BarrierMode: machine.BarrierSATB}
+	ref, err := machine.New(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := resumed.DiffFields(&want); diffs != nil {
+		for _, d := range diffs {
+			t.Errorf("v2 fixture resume vs uninterrupted run: %s", d)
+		}
+	}
+
+	// Corrupting or truncating the old version still errors cleanly.
+	for _, n := range []int{len(magic) + 2, len(data) / 3, len(data) - 1} {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Errorf("truncated v2 fixture (%d bytes) decoded without error", n)
+		}
+	}
+	for _, off := range []int{20, len(data) / 2, len(data) - 10} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 1
+		if _, err := Decode(bad); err == nil {
+			t.Errorf("v2 fixture with bit flip at %d decoded without error", off)
+		}
+	}
+}
+
 // FuzzSnapshotDecode checks that arbitrary bytes — including mutations of a
 // valid snapshot — never panic or over-allocate in Decode, and that inputs
 // accepted by Decode re-encode canonically.

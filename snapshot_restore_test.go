@@ -180,6 +180,51 @@ func TestSnapshotRestoreBarrierModes(t *testing.T) {
 	}
 }
 
+// TestSnapshotRestoreMemoryHierarchy extends the restore matrix to the NUMA
+// and cache extensions: hierarchy runs carry extra machine state in the
+// snapshot (per-load completion classes, the remote/L1/L2 completion rings,
+// cache tag arrays with LRU timestamps, in-flight MSHR occupancy), all of
+// which must survive a checkpoint taken at an arbitrary cycle. The cases
+// deliberately cross the models — NUMA alone, cache alone, both together,
+// and locality-aware placement — and add a counter sanity check so a
+// variant that silently ran flat cannot pass.
+func TestSnapshotRestoreMemoryHierarchy(t *testing.T) {
+	variants := []struct {
+		name string
+		cfg  Config
+	}{
+		{"numa", Config{NUMADomains: 4, NUMARemotePenalty: 30}},
+		{"numa-local", Config{NUMADomains: 4, NUMAPlacement: PlacementLocal}},
+		{"cache", Config{L1Sets: 16}},
+		{"cache-mshr", Config{L1Sets: 8, L1Ways: 1, MSHRs: 2}},
+		{"numa-cache", Config{NUMADomains: 2, NUMABandwidth: 2, L1Sets: 16}},
+	}
+	rng := rand.New(rand.NewSource(13))
+	for _, v := range variants {
+		for _, cores := range []int{1, 4, 16} {
+			v, cores := v, cores
+			seed := rng.Int63()
+			t.Run(fmt.Sprintf("%s/cores=%d", v.name, cores), func(t *testing.T) {
+				t.Parallel()
+				cfg := v.cfg
+				cfg.Cores = cores
+				want, wantHeap := runUninterrupted(t, "javacc", cfg)
+				if cfg.NUMADomains > 0 && want.Mem.LocalAccesses+want.Mem.RemoteAccesses == 0 {
+					t.Fatal("NUMA run classified no accesses")
+				}
+				if cfg.L1Sets > 0 && want.Mem.L1Hits+want.Mem.L1Misses == 0 {
+					t.Fatal("cache run recorded no L1 lookups")
+				}
+				loop := want.Cycles - cfg.WithDefaults().ShutdownCycles
+				rng := rand.New(rand.NewSource(seed))
+				for _, at := range checkpointCycles(rng, loop, 2) {
+					checkRestoredRun(t, "javacc", cfg, at, want, wantHeap)
+				}
+			})
+		}
+	}
+}
+
 // TestRequestCollectionResponseBytes is the serving-tier contract: a
 // request collection that is checkpointed, serialized, and resumed from the
 // snapshot in a "different process" must produce a response byte-identical

@@ -66,9 +66,10 @@ var SweepObjectives = []string{
 // fields list their values in Values (canonicalized sorted ascending,
 // duplicates removed; a zero value selects the field's library default
 // exactly as it does on a single CollectRequest). Enum-valued string fields
-// (currently BarrierMode) list theirs in Strings (canonicalized sorted,
-// deduplicated, with "" spelled "none"); exactly one of the two lists must
-// be set.
+// (BarrierMode, NUMAPlacement) list theirs in Strings (canonicalized sorted,
+// deduplicated, with "" spelled by the zero value's canonical name — "none"
+// for BarrierMode, "naive" for NUMAPlacement); exactly one of the two lists
+// must be set.
 type SweepAxis struct {
 	Field   string
 	Values  []int64  `json:",omitempty"`
@@ -129,10 +130,16 @@ type axisField struct {
 // Boolean fields (DisableFIFO, OptUnlockedMarkRead, Verify) belong in Base,
 // not on an axis: a two-valued bool axis is just two spaces.
 var sweepAxisFields = []axisField{
+	{"CacheLineWords", func(c *Config) int64 { return int64(c.CacheLineWords) }, func(c *Config, v int64) { c.CacheLineWords = int(v) }},
 	{"Cores", func(c *Config) int64 { return int64(c.Cores) }, func(c *Config, v int64) { c.Cores = int(v) }},
 	{"ExtraMemLatency", func(c *Config) int64 { return int64(c.ExtraMemLatency) }, func(c *Config, v int64) { c.ExtraMemLatency = int(v) }},
 	{"FIFOCapacity", func(c *Config) int64 { return int64(c.FIFOCapacity) }, func(c *Config, v int64) { c.FIFOCapacity = int(v) }},
 	{"HeaderCacheLines", func(c *Config) int64 { return int64(c.HeaderCacheLines) }, func(c *Config, v int64) { c.HeaderCacheLines = int(v) }},
+	{"L1Sets", func(c *Config) int64 { return int64(c.L1Sets) }, func(c *Config, v int64) { c.L1Sets = int(v) }},
+	{"L1Ways", func(c *Config) int64 { return int64(c.L1Ways) }, func(c *Config, v int64) { c.L1Ways = int(v) }},
+	{"L2Sets", func(c *Config) int64 { return int64(c.L2Sets) }, func(c *Config, v int64) { c.L2Sets = int(v) }},
+	{"L2Ways", func(c *Config) int64 { return int64(c.L2Ways) }, func(c *Config, v int64) { c.L2Ways = int(v) }},
+	{"MSHRs", func(c *Config) int64 { return int64(c.MSHRs) }, func(c *Config, v int64) { c.MSHRs = int(v) }},
 	{"MemBandwidth", func(c *Config) int64 { return int64(c.MemBandwidth) }, func(c *Config, v int64) { c.MemBandwidth = int(v) }},
 	{"MemBankBusy", func(c *Config) int64 { return int64(c.MemBankBusy) }, func(c *Config, v int64) { c.MemBankBusy = int(v) }},
 	{"MemBanks", func(c *Config) int64 { return int64(c.MemBanks) }, func(c *Config, v int64) { c.MemBanks = int(v) }},
@@ -142,6 +149,10 @@ var sweepAxisFields = []axisField{
 	{"MutatorOps", func(c *Config) int64 { return c.MutatorOps }, func(c *Config, v int64) { c.MutatorOps = v }},
 	{"MutatorPeriod", func(c *Config) int64 { return int64(c.MutatorPeriod) }, func(c *Config, v int64) { c.MutatorPeriod = int(v) }},
 	{"MutatorSeed", func(c *Config) int64 { return c.MutatorSeed }, func(c *Config, v int64) { c.MutatorSeed = v }},
+	{"NUMABandwidth", func(c *Config) int64 { return int64(c.NUMABandwidth) }, func(c *Config, v int64) { c.NUMABandwidth = int(v) }},
+	{"NUMADomains", func(c *Config) int64 { return int64(c.NUMADomains) }, func(c *Config, v int64) { c.NUMADomains = int(v) }},
+	{"NUMAInterleave", func(c *Config) int64 { return int64(c.NUMAInterleave) }, func(c *Config, v int64) { c.NUMAInterleave = int(v) }},
+	{"NUMARemotePenalty", func(c *Config) int64 { return int64(c.NUMARemotePenalty) }, func(c *Config, v int64) { c.NUMARemotePenalty = int(v) }},
 	{"ShutdownCycles", func(c *Config) int64 { return c.ShutdownCycles }, func(c *Config, v int64) { c.ShutdownCycles = v }},
 	{"StartupCycles", func(c *Config) int64 { return c.StartupCycles }, func(c *Config, v int64) { c.StartupCycles = v }},
 	{"StrideWords", func(c *Config) int64 { return int64(c.StrideWords) }, func(c *Config, v int64) { c.StrideWords = int(v) }},
@@ -158,13 +169,14 @@ func axisFieldByName(name string) (axisField, bool) {
 
 // enumAxisField binds an enum-valued (string) Config field to its accessor
 // pair and the canonical spellings of its values. The getter and setter
-// translate the empty in-struct value to/from its canonical spelling so the
-// axis value list never contains "".
+// translate the empty in-struct value to/from its canonical spelling (empty)
+// so the axis value list never contains "".
 type enumAxisField struct {
 	name   string
 	get    func(*Config) string
 	set    func(*Config, string)
 	values []string // canonical spellings, sorted
+	empty  string   // canonical spelling of the zero value
 }
 
 // sweepEnumAxisFields lists every sweepable enum-valued Config field in
@@ -186,6 +198,25 @@ var sweepEnumAxisFields = []enumAxisField{
 			c.BarrierMode = BarrierMode(v)
 		},
 		values: []string{"incupdate", "none", "satb"},
+		empty:  "none",
+	},
+	{
+		name: "NUMAPlacement",
+		get: func(c *Config) string {
+			if c.NUMAPlacement == PlacementNaive {
+				return "naive"
+			}
+			return string(c.NUMAPlacement)
+		},
+		set: func(c *Config, v string) {
+			if v == "naive" {
+				c.NUMAPlacement = PlacementNaive
+				return
+			}
+			c.NUMAPlacement = NUMAPlacement(v)
+		},
+		values: []string{"local", "naive"},
+		empty:  "naive",
 	},
 }
 
@@ -296,8 +327,8 @@ func (s *SweepSpace) Canonicalize() error {
 			// single substitution, exactly like the integer path.
 			for j, v := range ax.Strings {
 				if v == "" {
-					ax.Strings[j] = "none"
-					v = "none"
+					ax.Strings[j] = ef.empty
+					v = ef.empty
 				}
 				probe := s.Base
 				ef.set(&probe, v)

@@ -397,3 +397,116 @@ func TestSweepSpaceCanonicalIdempotent(t *testing.T) {
 		t.Fatalf("canonicalization not idempotent:\n%s\n%s", first, second)
 	}
 }
+
+// The NUMAPlacement axis canonicalizes its empty spelling to "naive" and a
+// "naive" point collides with a base config that never mentions placement;
+// a zero NUMADomains axis value collides with the flat machine.
+func TestSweepSpaceNUMAAxes(t *testing.T) {
+	s := SweepSpace{
+		Benches: []string{"jlisp"},
+		Base:    Config{NUMADomains: 4},
+		Axes:    []SweepAxis{{Field: "NUMAPlacement", Strings: []string{"local", "", "naive"}}},
+	}
+	pts, err := s.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Axes[0].Strings; len(got) != 2 || got[0] != "local" || got[1] != "naive" {
+		t.Fatalf("Strings = %v, want [local naive]", got)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("planned %d points, want 2", len(pts))
+	}
+	if pts[0].Req.Config.NUMAPlacement != PlacementLocal ||
+		pts[1].Req.Config.NUMAPlacement != PlacementNaive {
+		t.Fatalf("placement order: %q, %q", pts[0].Req.Config.NUMAPlacement, pts[1].Req.Config.NUMAPlacement)
+	}
+	base := SweepSpace{Benches: []string{"jlisp"}, Base: Config{NUMADomains: 4}}
+	bpts, err := base.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].Key != bpts[0].Key {
+		t.Fatal(`"naive" axis point does not collide with the implicit default`)
+	}
+
+	// A domain-count axis spans the flat machine (0) and NUMA machines; the
+	// zero point must share its key with a space that never mentions NUMA.
+	d := SweepSpace{
+		Benches: []string{"jlisp"},
+		Axes:    []SweepAxis{{Field: "NUMADomains", Values: []int64{0, 2, 4}}},
+	}
+	dpts, err := d.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := SweepSpace{Benches: []string{"jlisp"}}
+	fpts, err := flat.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dpts) != 3 || dpts[0].Key != fpts[0].Key {
+		t.Fatal("zero-domain axis point does not collide with the flat machine")
+	}
+	// Placement without domains is a dead knob: the axis collapses to one
+	// canonical (flat) point.
+	dead := SweepSpace{
+		Benches: []string{"jlisp"},
+		Axes:    []SweepAxis{{Field: "NUMAPlacement", Strings: []string{"local", "naive"}}},
+	}
+	deadPts, err := dead.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deadPts) != 1 || deadPts[0].Key != fpts[0].Key {
+		t.Fatalf("dead placement knob planned %d points, want 1 flat point", len(deadPts))
+	}
+}
+
+// Cache axes validate and canonicalize: a zero L1Sets value is the flat
+// machine, and the dependent knobs (ways, MSHRs, line words) are dead
+// without it.
+func TestSweepSpaceCacheAxes(t *testing.T) {
+	s := SweepSpace{
+		Benches: []string{"jlisp"},
+		Axes:    []SweepAxis{{Field: "L1Sets", Values: []int64{0, 16, 64}}},
+	}
+	pts, err := s.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("planned %d points, want 3", len(pts))
+	}
+	flat := SweepSpace{Benches: []string{"jlisp"}}
+	fpts, err := flat.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Key != fpts[0].Key {
+		t.Fatal("zero-L1Sets point does not collide with the flat machine")
+	}
+	dead := SweepSpace{
+		Benches: []string{"jlisp"},
+		Axes:    []SweepAxis{{Field: "MSHRs", Values: []int64{2, 8}}},
+	}
+	deadPts, err := dead.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deadPts) != 1 || deadPts[0].Key != fpts[0].Key {
+		t.Fatalf("dead MSHR knob planned %d points, want 1 flat point", len(deadPts))
+	}
+	// A negative gate value normalizes to "model off", like MutatorOps.
+	neg := SweepSpace{
+		Benches: []string{"jlisp"},
+		Axes:    []SweepAxis{{Field: "L1Sets", Values: []int64{-1}}},
+	}
+	negPts, err := neg.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(negPts) != 1 || negPts[0].Key != fpts[0].Key {
+		t.Fatal("negative L1Sets did not normalize to the flat machine")
+	}
+}
